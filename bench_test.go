@@ -1,0 +1,112 @@
+// Package repro's root bench file regenerates every quantitative claim
+// of the survey (DESIGN.md's experiment index E1–E16): run
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkE* executes its experiment once per iteration and, on
+// the first iteration, prints the regenerated table so the bench log
+// doubles as the paper-vs-measured record that EXPERIMENTS.md cites.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchRefs keeps each simulation short enough for -bench=. to complete
+// quickly while staying in the calibrated regime.
+const benchRefs = 30000
+
+var printOnce sync.Map
+
+// runExperiment executes exp b.N times, printing its table once.
+func runExperiment(b *testing.B, id string, exp func() (*core.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := exp()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, done := printOnce.LoadOrStore(id, true); !done {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+func BenchmarkE1SurveyTable(b *testing.B) {
+	runExperiment(b, "E1", func() (*core.Table, error) { return core.E1SurveyTable(benchRefs) })
+}
+
+func BenchmarkE2StreamVsBlock(b *testing.B) {
+	runExperiment(b, "E2", func() (*core.Table, error) { return core.E2StreamVsBlock(benchRefs) })
+}
+
+func BenchmarkE3WritePenalty(b *testing.B) {
+	runExperiment(b, "E3", func() (*core.Table, error) { return core.E3WritePenalty(benchRefs) })
+}
+
+func BenchmarkE4ECBLeakage(b *testing.B) {
+	runExperiment(b, "E4", core.E4ECBLeakage)
+}
+
+func BenchmarkE5CBCRandomAccess(b *testing.B) {
+	runExperiment(b, "E5", func() (*core.Table, error) { return core.E5CBCRandomAccess(benchRefs) })
+}
+
+func BenchmarkE6Aegis(b *testing.B) {
+	runExperiment(b, "E6", func() (*core.Table, error) { return core.E6Aegis(benchRefs) })
+}
+
+func BenchmarkE7XomPipeline(b *testing.B) {
+	runExperiment(b, "E7", func() (*core.Table, error) { return core.E7XomPipeline(benchRefs) })
+}
+
+func BenchmarkE8Gilmont(b *testing.B) {
+	runExperiment(b, "E8", func() (*core.Table, error) { return core.E8Gilmont(60000) })
+}
+
+func BenchmarkE9KuhnAttack(b *testing.B) {
+	runExperiment(b, "E9", core.E9Kuhn)
+}
+
+func BenchmarkE10CodePack(b *testing.B) {
+	runExperiment(b, "E10", func() (*core.Table, error) { return core.E10CodePack(benchRefs) })
+}
+
+func BenchmarkE11CacheSideEDU(b *testing.B) {
+	runExperiment(b, "E11", func() (*core.Table, error) { return core.E11CacheSide(benchRefs) })
+}
+
+func BenchmarkE12CompressThenEncrypt(b *testing.B) {
+	runExperiment(b, "E12", func() (*core.Table, error) { return core.E12CompressThenEncrypt(benchRefs) })
+}
+
+func BenchmarkE13BruteForce(b *testing.B) {
+	runExperiment(b, "E13", core.E13BruteForce)
+}
+
+func BenchmarkE14KeyExchange(b *testing.B) {
+	runExperiment(b, "E14", core.E14KeyExchange)
+}
+
+func BenchmarkE15BestCipher(b *testing.B) {
+	runExperiment(b, "E15", core.E15Best)
+}
+
+func BenchmarkE16VlsiDma(b *testing.B) {
+	runExperiment(b, "E16", func() (*core.Table, error) { return core.E16VlsiDma(benchRefs) })
+}
+
+func BenchmarkE17Integrity(b *testing.B) {
+	runExperiment(b, "E17", func() (*core.Table, error) { return core.E17Integrity(benchRefs) })
+}
+
+func BenchmarkE18Ablations(b *testing.B) {
+	runExperiment(b, "E18", func() (*core.Table, error) { return core.E18Ablations(benchRefs) })
+}
+
+func BenchmarkE19KeyManagement(b *testing.B) {
+	runExperiment(b, "E19", func() (*core.Table, error) { return core.E19KeyManagement(benchRefs) })
+}

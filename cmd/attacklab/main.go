@@ -1,0 +1,46 @@
+// Command attacklab runs the attack suite of the survey's §2.3 threat
+// model: bus probing of an unprotected system, ECB pattern analysis,
+// Kuhn's cipher instruction search against the DS5002FP model, IV
+// rewrite leakage, and the brute-force lifetime table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment: e4, e9, e13 or e15 (default: all)")
+	flag.Parse()
+
+	type step struct {
+		key string
+		run func() (*core.Table, error)
+	}
+	steps := []step{
+		{"e4", core.E4ECBLeakage},
+		{"e9", core.E9Kuhn},
+		{"e13", core.E13BruteForce},
+		{"e15", core.E15Best},
+	}
+	ran := 0
+	for _, s := range steps {
+		if *only != "" && *only != s.key {
+			continue
+		}
+		tbl, err := s.run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "attacklab:", err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "attacklab: unknown experiment %q (want e4, e9, e13 or e15)\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,104 @@
+// CodePack demo: the survey's §4 proposal. Train a CodePack-style codec
+// on a program, show the ~35% density gain, prove the Figure 8 ordering
+// rule (ciphertext does not compress), and measure the combined
+// compress-then-encrypt engine against encryption alone across memory
+// speeds — the claimed "+/- 10% depending on the type of memory used".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/crypto/aes"
+	"repro/internal/crypto/modes"
+	"repro/internal/edu/compressengine"
+	"repro/internal/edu/products"
+	"repro/internal/sim/soc"
+	"repro/internal/sim/trace"
+)
+
+func main() {
+	program := compress.SyntheticProgram(128<<10, 2005)
+	codec, err := compress.Train(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	image, err := codec.Compress(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program: %d bytes -> %d bytes compressed (ratio %.3f, density gain %.0f%%)\n",
+		image.OriginalBytes, image.CompressedBytes(), image.Ratio(), 100*(image.Ratio()-1))
+
+	// Verify random-access decompression (jumps need it).
+	blk, err := codec.DecompressBlock(image, 37)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok := true
+	for i, b := range blk {
+		ok = ok && b == program[37*compress.BlockBytes+i]
+	}
+	fmt.Printf("random-access block decode correct: %v\n", ok)
+
+	// Figure 8's ordering rule.
+	cipher, _ := aes.New([]byte("0123456789abcdef"))
+	ct := make([]byte, len(program))
+	modes.NewECB(cipher).Encrypt(ct, program)
+	ctCodec, err := compress.Train(ct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctImage, err := ctCodec.Compress(ct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressing ciphertext instead: ratio %.3f (it EXPANDS — compress first!)\n",
+		ctImage.Ratio())
+
+	// Combined engine vs encryption alone, across memory speeds.
+	fmt.Println("\nmemory speed sweep (overhead vs plaintext baseline):")
+	fmt.Println("memory        encrypt-only   compress+encrypt")
+	tr := trace.CodeOnly(trace.Config{Refs: 60000, Seed: 3, JumpRate: 0.03, CodeSize: 2 << 20})
+	for _, m := range []struct {
+		name            string
+		busDiv, dramDiv int
+	}{
+		{"fast SRAM   ", 1, 1},
+		{"SDRAM       ", 2, 3},
+		{"narrow flash", 6, 8},
+	} {
+		cfg := soc.DefaultConfig()
+		cfg.Bus.ClockDivider = m.busDiv
+		cfg.DRAM.ClockDivider = m.dramDiv
+
+		encOnly, err := products.XOM([]byte("0123456789abcdef"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		b1, w1, err := soc.Compare(cfg, encOnly, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		inner, err := products.XOM([]byte("0123456789abcdef"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		combo, err := compressengine.New(compressengine.Config{
+			Codec: codec, Ratio: image.Ratio(), CodeLimit: core.CodeLimit, Inner: inner, Gates: 20000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		b2, w2, err := soc.Compare(cfg, combo, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s  %+7.2f%%       %+7.2f%%\n",
+			m.name, 100*w1.OverheadVs(b1), 100*w2.OverheadVs(b2))
+	}
+	fmt.Println("\ncompression narrows the encryption gap as memory slows — §4's point")
+}

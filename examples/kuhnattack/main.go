@@ -1,0 +1,50 @@
+// Kuhn's attack, replayed: break the DS5002FP's byte-wise bus encryption
+// with the cipher instruction search (256 possibilities per byte), dump
+// the protected firmware through the parallel port, then watch the same
+// strategy collapse against the DS5240's 64-bit block.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/internal/attack"
+)
+
+func main() {
+	firmware := append(
+		[]byte("DS5002 PROTECTED FIRMWARE: pay-tv descrambler, entitlement keys 4A-3F-99-D2 :: "),
+		bytes.Repeat([]byte{0x74, 0x2A, 0xF5, 0x90, 0x80, 0xFB}, 24)...)
+
+	// The victim: battery-backed key, firmware loaded through the
+	// part's encrypting bootstrap loader.
+	victim, err := attack.NewVictim([]byte("battery!"), firmware)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("victim holds %d bytes of protected firmware\n", len(firmware))
+	fmt.Printf("raw external memory contains plaintext: %v\n",
+		bytes.Contains(victim.MemImage(), firmware[:16]))
+
+	// The attack: exhaustive 8-bit search per gadget byte, then the dump
+	// gadget walked over the address space.
+	result, err := attack.Kuhn(victim, 0x8000, len(firmware))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n--- cipher instruction search complete ---\n")
+	fmt.Printf("total probes: %d (a few 256-way searches + 1 per dumped byte)\n", result.Probes)
+	fmt.Printf("dump matches firmware: %v\n", bytes.Equal(result.Dump, firmware))
+	fmt.Printf("recovered prefix: %q\n", result.Dump[:48])
+
+	// The fix: the DS5240's 64-bit blocks make the search 2^64-way.
+	hits, err := attack.DS5240SearchInfeasible([]byte("0123456789abcdef"), 500000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n--- same strategy vs DS5240 ---\n")
+	fmt.Printf("chosen-gadget hits in 5e5 random 64-bit injections: %d\n", hits)
+	fmt.Println("(expected ~2^-64 per injection: the survey's \"8-bit based ciphering")
+	fmt.Println(" passes to 64-bit based ciphering\" closes the attack)")
+}

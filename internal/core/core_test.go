@@ -1,0 +1,117 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim/trace"
+)
+
+func TestSurveyRegistryComplete(t *testing.T) {
+	entries := Survey()
+	if len(entries) != 8 {
+		t.Fatalf("survey has %d entries, want 8", len(entries))
+	}
+	keys := map[string]bool{}
+	for _, e := range entries {
+		if e.Key == "" || e.Name == "" || e.Origin == "" || e.Cipher == "" {
+			t.Errorf("entry %q incomplete: %+v", e.Key, e)
+		}
+		if keys[e.Key] {
+			t.Errorf("duplicate key %q", e.Key)
+		}
+		keys[e.Key] = true
+		eng, err := e.Build()
+		if err != nil {
+			t.Errorf("%s: Build failed: %v", e.Key, err)
+			continue
+		}
+		if eng.Name() == "" {
+			t.Errorf("%s: engine has no name", e.Key)
+		}
+	}
+	for _, want := range []string{"best", "vlsi", "gi", "ds5002", "ds5240", "gilmont", "xom", "aegis"} {
+		if !keys[want] {
+			t.Errorf("missing surveyed design %q", want)
+		}
+	}
+}
+
+func TestEntryLookup(t *testing.T) {
+	e, err := Entry("aegis")
+	if err != nil || e.Key != "aegis" {
+		t.Errorf("Entry(aegis): %v, %v", e.Key, err)
+	}
+	if _, err := Entry("nonsense"); err == nil {
+		t.Error("unknown key accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEntry on bad key did not panic")
+		}
+	}()
+	MustEntry("nonsense")
+}
+
+func TestBuildReturnsFreshEngines(t *testing.T) {
+	e := MustEntry("gilmont")
+	a, err := e.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("Build returned a shared instance; engines are stateful")
+	}
+}
+
+func TestWorkloadsSet(t *testing.T) {
+	ws := Workloads(1000)
+	if len(ws) != 5 {
+		t.Fatalf("%d workloads", len(ws))
+	}
+	names := map[string]bool{}
+	for _, w := range ws {
+		if len(w.Refs) != 1000 {
+			t.Errorf("%s: %d refs", w.Name, len(w.Refs))
+		}
+		names[w.Name] = true
+	}
+	if !names["code-only"] || !names["pointer-chase"] {
+		t.Error("expected workload names missing")
+	}
+}
+
+func TestMeasureOverheadPositiveForCostlyEngine(t *testing.T) {
+	eng, err := MustEntry("gi").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Sequential(trace.Config{Refs: 5000, Seed: 1, LoadFraction: 0.4, WriteFraction: 0.3})
+	ov, err := MeasureOverhead(eng, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov <= 0 {
+		t.Errorf("GI overhead %v, want > 0", ov)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{
+		ID: "EX", Title: "demo", PaperClaim: "claim",
+		Header: []string{"col-a", "b"},
+		Notes:  []string{"a note"},
+	}
+	tbl.AddRow("value", 3.14159)
+	tbl.AddRow(42, "x")
+	s := tbl.String()
+	for _, want := range []string{"== EX: demo ==", "paper: claim", "col-a", "3.142", "42", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+}

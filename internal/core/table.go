@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a formatted experiment result: what the bench harness prints
+// and EXPERIMENTS.md records.
+type Table struct {
+	// ID is the experiment identifier (E1..E16).
+	ID string
+	// Title describes what is being reproduced.
+	Title string
+	// PaperClaim quotes the survey's number or statement being checked.
+	PaperClaim string
+	// Header names the columns.
+	Header []string
+	// Rows are the measured values, stringified.
+	Rows [][]string
+	// Notes carries caveats and substitutions.
+	Notes []string
+}
+
+// AddRow appends a row, stringifying each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.PaperClaim != "" {
+		fmt.Fprintf(&b, "paper: %s\n", t.PaperClaim)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

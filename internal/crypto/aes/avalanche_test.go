@@ -1,0 +1,82 @@
+package aes
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Avalanche property: flipping one plaintext bit should flip roughly
+// half the ciphertext bits. A transcription error in the S-box or
+// MixColumns constants shows up here as a skewed distribution even when
+// round-trips still pass.
+func TestPlaintextAvalanche(t *testing.T) {
+	ci, err := New([]byte("avalanche-key-16"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var total, samples int
+	for trial := 0; trial < 50; trial++ {
+		pt := make([]byte, 16)
+		rng.Read(pt)
+		base := make([]byte, 16)
+		ci.Encrypt(base, pt)
+		bit := rng.Intn(128)
+		mod := append([]byte{}, pt...)
+		mod[bit/8] ^= 1 << uint(bit%8)
+		out := make([]byte, 16)
+		ci.Encrypt(out, mod)
+		total += hamming(base, out)
+		samples++
+	}
+	mean := float64(total) / float64(samples)
+	if mean < 52 || mean > 76 { // 64 ± 12
+		t.Errorf("plaintext avalanche mean %.1f bits, want ~64", mean)
+	}
+}
+
+// Key avalanche: one key bit flip must also diffuse through the whole
+// ciphertext (key schedule correctness).
+func TestKeyAvalanche(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var total, samples int
+	for trial := 0; trial < 50; trial++ {
+		key := make([]byte, 16)
+		rng.Read(key)
+		pt := make([]byte, 16)
+		rng.Read(pt)
+		c1, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bit := rng.Intn(128)
+		key2 := append([]byte{}, key...)
+		key2[bit/8] ^= 1 << uint(bit%8)
+		c2, err := New(key2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := make([]byte, 16)
+		b := make([]byte, 16)
+		c1.Encrypt(a, pt)
+		c2.Encrypt(b, pt)
+		total += hamming(a, b)
+		samples++
+	}
+	mean := float64(total) / float64(samples)
+	if mean < 52 || mean > 76 {
+		t.Errorf("key avalanche mean %.1f bits, want ~64", mean)
+	}
+}
+
+func hamming(a, b []byte) int {
+	n := 0
+	for i := range a {
+		x := a[i] ^ b[i]
+		for x != 0 {
+			n += int(x & 1)
+			x >>= 1
+		}
+	}
+	return n
+}

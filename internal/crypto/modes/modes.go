@@ -1,0 +1,249 @@
+// Package modes implements the block-cipher operating modes the survey
+// discusses: ECB (the "obvious" mode whose determinism leaks patterns),
+// CBC (robust but hostile to random access), CTR (the counter mode that
+// lets a pad be precomputed from the address), and the AEGIS-style
+// per-cache-block CBC whose initialization vector is derived from the
+// block address plus a random value or a write counter.
+//
+// All modes operate on whole multiples of the cipher's block size; the
+// bus-engine layer is responsible for the read-modify-write dance on
+// partial writes (that cost is exactly what experiment E3 measures).
+package modes
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Block is the block-cipher contract all modes consume. Both the local
+// AES/DES implementations and crypto/cipher.Block satisfy it.
+type Block interface {
+	BlockSize() int
+	Encrypt(dst, src []byte)
+	Decrypt(dst, src []byte)
+}
+
+// ECB is Electronic CodeBook: each block enciphered independently.
+// Deterministic — identical plaintext blocks produce identical
+// ciphertext blocks, the weakness §2.2 of the survey calls out and
+// experiment E4 quantifies.
+type ECB struct{ b Block }
+
+// NewECB wraps b in ECB mode.
+func NewECB(b Block) *ECB { return &ECB{b} }
+
+func checkLen(n, bs int) {
+	if n%bs != 0 {
+		panic(fmt.Sprintf("modes: length %d not a multiple of block size %d", n, bs))
+	}
+}
+
+// Encrypt enciphers src into dst; len(src) must be a block multiple.
+func (e *ECB) Encrypt(dst, src []byte) {
+	bs := e.b.BlockSize()
+	checkLen(len(src), bs)
+	for i := 0; i < len(src); i += bs {
+		e.b.Encrypt(dst[i:i+bs], src[i:i+bs])
+	}
+}
+
+// Decrypt deciphers src into dst.
+func (e *ECB) Decrypt(dst, src []byte) {
+	bs := e.b.BlockSize()
+	checkLen(len(src), bs)
+	for i := 0; i < len(src); i += bs {
+		e.b.Decrypt(dst[i:i+bs], src[i:i+bs])
+	}
+}
+
+// CBC is Cipher Block Chaining over a whole message with an explicit IV.
+// Each ciphertext block depends on all previous plaintext blocks, which
+// is why the survey notes its use "proves limited in a processor-memory
+// system due to the random data access problem (JUMP instructions)".
+type CBC struct {
+	b  Block
+	iv []byte
+}
+
+// NewCBC wraps b in CBC mode with the given IV (length = block size).
+func NewCBC(b Block, iv []byte) (*CBC, error) {
+	if len(iv) != b.BlockSize() {
+		return nil, fmt.Errorf("modes: IV length %d != block size %d", len(iv), b.BlockSize())
+	}
+	return &CBC{b, append([]byte{}, iv...)}, nil
+}
+
+// Encrypt enciphers src into dst as one chained message.
+func (c *CBC) Encrypt(dst, src []byte) {
+	bs := c.b.BlockSize()
+	checkLen(len(src), bs)
+	prev := c.iv
+	for i := 0; i < len(src); i += bs {
+		var x [64]byte
+		xb := x[:bs]
+		for j := 0; j < bs; j++ {
+			xb[j] = src[i+j] ^ prev[j]
+		}
+		c.b.Encrypt(dst[i:i+bs], xb)
+		prev = dst[i : i+bs]
+	}
+}
+
+// Decrypt deciphers src into dst. dst and src must not alias, because the
+// chain needs the previous *ciphertext* block.
+func (c *CBC) Decrypt(dst, src []byte) {
+	bs := c.b.BlockSize()
+	checkLen(len(src), bs)
+	prev := c.iv
+	for i := 0; i < len(src); i += bs {
+		c.b.Decrypt(dst[i:i+bs], src[i:i+bs])
+		for j := 0; j < bs; j++ {
+			dst[i+j] ^= prev[j]
+		}
+		prev = src[i : i+bs]
+	}
+}
+
+// DecryptFrom deciphers only the chain suffix beginning at block index
+// start, given the ciphertext of block start-1 (or the IV for start==0).
+// It models the random-access property: you can land anywhere, but only
+// with the previous ciphertext block in hand — which on a bus means
+// fetching one extra block. The engines use it for jump-target costing.
+func (c *CBC) DecryptFrom(dst, src []byte, start int, prevCT []byte) {
+	bs := c.b.BlockSize()
+	checkLen(len(src), bs)
+	prev := prevCT
+	if start == 0 {
+		prev = c.iv
+	}
+	if len(prev) != bs {
+		panic("modes: DecryptFrom needs previous ciphertext block")
+	}
+	for i := 0; i < len(src); i += bs {
+		c.b.Decrypt(dst[i:i+bs], src[i:i+bs])
+		for j := 0; j < bs; j++ {
+			dst[i+j] ^= prev[j]
+		}
+		prev = src[i : i+bs]
+	}
+}
+
+// IVMode selects how BlockCBC derives per-cache-block IVs.
+type IVMode int
+
+const (
+	// IVRandom derives the IV from the block address and a per-system
+	// random vector. Vulnerable to the birthday attack the survey notes.
+	IVRandom IVMode = iota
+	// IVCounter derives the IV from the block address and a monotonically
+	// increasing write counter, the fix AEGIS proposes.
+	IVCounter
+)
+
+// BlockCBC is the AEGIS scheme: the chaining unit is one cache block, so
+// every cache block can be (de)ciphered independently — restoring random
+// access — while chaining inside the block keeps CBC's diffusion.
+// IV(blockAddr) = E_K(addr ‖ salt) where salt is random or a counter.
+type BlockCBC struct {
+	b        Block
+	mode     IVMode
+	salt     uint64            // random vector (IVRandom)
+	counters map[uint64]uint64 // per-address write counters (IVCounter)
+}
+
+// NewBlockCBC builds an AEGIS-style per-cache-block CBC engine. salt
+// seeds the random-vector variant and the initial counter value.
+func NewBlockCBC(b Block, mode IVMode, salt uint64) *BlockCBC {
+	return &BlockCBC{b: b, mode: mode, salt: salt, counters: make(map[uint64]uint64)}
+}
+
+// iv computes the initialization vector for the cache block at addr.
+// freshen advances the write counter first (call with true on writes).
+func (a *BlockCBC) iv(addr uint64, freshen bool) []byte {
+	bs := a.b.BlockSize()
+	var salt uint64
+	switch a.mode {
+	case IVRandom:
+		salt = a.salt
+	case IVCounter:
+		if freshen {
+			a.counters[addr]++
+		}
+		salt = a.salt + a.counters[addr]
+	}
+	src := make([]byte, bs)
+	binary.BigEndian.PutUint64(src[:8], addr)
+	if bs >= 16 {
+		binary.BigEndian.PutUint64(src[8:16], salt)
+	} else {
+		// 8-byte blocks: fold the salt into the address word.
+		binary.BigEndian.PutUint64(src[:8], addr^salt)
+	}
+	iv := make([]byte, bs)
+	a.b.Encrypt(iv, src)
+	return iv
+}
+
+// IVFor exposes the current IV for a block address (no counter advance);
+// the birthday-attack experiment samples it.
+func (a *BlockCBC) IVFor(addr uint64) []byte { return a.iv(addr, false) }
+
+// EncryptBlockAt enciphers one cache block stored at addr, advancing the
+// write counter in IVCounter mode so rewrites never reuse an IV.
+func (a *BlockCBC) EncryptBlockAt(addr uint64, dst, src []byte) {
+	cbc := &CBC{b: a.b, iv: a.iv(addr, true)}
+	cbc.Encrypt(dst, src)
+}
+
+// DecryptBlockAt deciphers one cache block stored at addr.
+func (a *BlockCBC) DecryptBlockAt(addr uint64, dst, src []byte) {
+	cbc := &CBC{b: a.b, iv: a.iv(addr, false)}
+	cbc.Decrypt(dst, src)
+}
+
+// CTR is counter mode: the cipher enciphers a per-block counter to form
+// a pad XORed with the data. Because the counter for a bus transfer can
+// be the *address*, the pad is computable before the data arrives from
+// external memory — this is the property that lets a block cipher behave
+// like a stream cipher on the bus (experiment E2's winning configuration).
+type CTR struct {
+	b     Block
+	nonce uint64
+}
+
+// NewCTR builds a CTR pad generator keyed by b with a fixed nonce mixed
+// into every counter block.
+func NewCTR(b Block, nonce uint64) *CTR { return &CTR{b, nonce} }
+
+// Pad writes the keystream pad for the given starting counter (usually
+// the bus address divided by block size) into dst, any length.
+func (c *CTR) Pad(dst []byte, counter uint64) {
+	bs := c.b.BlockSize()
+	ctrBlock := make([]byte, bs)
+	pad := make([]byte, bs)
+	for off := 0; off < len(dst); off += bs {
+		for i := range ctrBlock {
+			ctrBlock[i] = 0
+		}
+		binary.BigEndian.PutUint64(ctrBlock[:8], c.nonce)
+		if bs >= 16 {
+			binary.BigEndian.PutUint64(ctrBlock[8:16], counter)
+		} else {
+			binary.BigEndian.PutUint64(ctrBlock[:8], c.nonce^counter)
+		}
+		c.b.Encrypt(pad, ctrBlock)
+		n := copy(dst[off:], pad)
+		_ = n
+		counter++
+	}
+}
+
+// XOR applies the pad for counter to src, writing dst (encrypt and
+// decrypt are the same operation).
+func (c *CTR) XOR(dst, src []byte, counter uint64) {
+	pad := make([]byte, len(src))
+	c.Pad(pad, counter)
+	for i := range src {
+		dst[i] = src[i] ^ pad[i]
+	}
+}

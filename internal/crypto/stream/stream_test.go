@@ -1,0 +1,266 @@
+package stream
+
+import (
+	"bytes"
+	stdrc4 "crypto/rc4"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLFSRDeterministicAndNonTrivial(t *testing.T) {
+	a := NewLFSR(12345)
+	b := NewLFSR(12345)
+	out := make([]byte, 64)
+	out2 := make([]byte, 64)
+	for i := range out {
+		out[i] = a.Next()
+		out2[i] = b.Next()
+	}
+	if !bytes.Equal(out, out2) {
+		t.Error("same seed gave different streams")
+	}
+	allSame := true
+	for _, v := range out[1:] {
+		if v != out[0] {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		t.Error("LFSR output is constant")
+	}
+}
+
+func TestLFSRZeroSeedIsRemapped(t *testing.T) {
+	l := NewLFSR(0)
+	var acc byte
+	for i := 0; i < 32; i++ {
+		acc |= l.Next()
+	}
+	if acc == 0 {
+		t.Error("zero seed produced the all-zero fixed point")
+	}
+}
+
+func TestLFSRPeriodIsLong(t *testing.T) {
+	// A 64-bit maximal LFSR must not revisit its start state quickly.
+	l := NewLFSR(777)
+	start := l.state
+	for i := 0; i < 100000; i++ {
+		l.Step()
+		if l.state == start {
+			t.Fatalf("LFSR state repeated after %d steps", i+1)
+		}
+	}
+}
+
+func TestGeffeDiffersFromComponents(t *testing.T) {
+	g := NewGeffe(42)
+	l := NewLFSR(42)
+	same := 0
+	for i := 0; i < 256; i++ {
+		if g.Next() == l.Next() {
+			same++
+		}
+	}
+	if same > 64 { // far more agreement than chance would give
+		t.Errorf("Geffe output suspiciously close to plain LFSR: %d/256 equal bytes", same)
+	}
+}
+
+func TestGeffeResetReproduces(t *testing.T) {
+	g := NewGeffe(9)
+	first := make([]byte, 32)
+	for i := range first {
+		first[i] = g.Next()
+	}
+	g.Reset(9)
+	second := make([]byte, 32)
+	for i := range second {
+		second[i] = g.Next()
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("Reset did not reproduce the stream")
+	}
+}
+
+func TestRC4MatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		key := make([]byte, 5+rng.Intn(27))
+		rng.Read(key)
+		ours, err := NewRC4(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := stdrc4.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt := make([]byte, 128)
+		rng.Read(pt)
+		want := make([]byte, 128)
+		ref.XORKeyStream(want, pt)
+		got := make([]byte, 128)
+		XORKeyStream(ours, got, pt)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("RC4 disagrees with crypto/rc4 for key %x", key)
+		}
+	}
+}
+
+func TestRC4KeyLengthValidation(t *testing.T) {
+	if _, err := NewRC4(nil); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := NewRC4(make([]byte, 257)); err == nil {
+		t.Error("257-byte key accepted")
+	}
+}
+
+func TestRC4ResetIsSeedDependent(t *testing.T) {
+	r, _ := NewRC4([]byte("buskey"))
+	r.Reset(1)
+	a := make([]byte, 16)
+	for i := range a {
+		a[i] = r.Next()
+	}
+	r.Reset(2)
+	b := make([]byte, 16)
+	for i := range b {
+		b[i] = r.Next()
+	}
+	if bytes.Equal(a, b) {
+		t.Error("different seeds gave identical streams")
+	}
+	r.Reset(1)
+	c := make([]byte, 16)
+	for i := range c {
+		c[i] = r.Next()
+	}
+	if !bytes.Equal(a, c) {
+		t.Error("same seed did not reproduce stream")
+	}
+}
+
+func TestXORKeyStreamRoundtrip(t *testing.T) {
+	for name, mk := range map[string]func() Keystream{
+		"lfsr":  func() Keystream { return NewLFSR(5) },
+		"geffe": func() Keystream { return NewGeffe(5) },
+		"rc4": func() Keystream {
+			r, _ := NewRC4([]byte("key!"))
+			return r
+		},
+	} {
+		enc := mk()
+		dec := mk()
+		pt := []byte("the processor-memory bus is the weakest point of the system")
+		ct := make([]byte, len(pt))
+		XORKeyStream(enc, ct, pt)
+		if bytes.Equal(ct, pt) {
+			t.Errorf("%s: ciphertext equals plaintext", name)
+		}
+		back := make([]byte, len(ct))
+		XORKeyStream(dec, back, ct)
+		if !bytes.Equal(back, pt) {
+			t.Errorf("%s: roundtrip failed", name)
+		}
+	}
+}
+
+func TestPadSourceProperties(t *testing.T) {
+	p := NewPadSource(NewGeffe(0), 0x5ec7e7, 32)
+
+	// Determinism per line.
+	a := make([]byte, 32)
+	b := make([]byte, 32)
+	p.Pad(a, 0x1000)
+	p.Pad(b, 0x1000)
+	if !bytes.Equal(a, b) {
+		t.Error("pad for same line not deterministic")
+	}
+
+	// Any address inside the same line selects the same pad.
+	p.Pad(b, 0x101f)
+	if !bytes.Equal(a, b) {
+		t.Error("addresses within a line must share the pad")
+	}
+
+	// Adjacent lines differ.
+	p.Pad(b, 0x1020)
+	if bytes.Equal(a, b) {
+		t.Error("adjacent lines share a pad")
+	}
+}
+
+func TestPadSourceXORLineRoundtrip(t *testing.T) {
+	p := NewPadSource(NewLFSR(0), 777, 16)
+	f := func(data [16]byte, addr uint64) bool {
+		ct := make([]byte, 16)
+		p.XORLine(ct, data[:], addr)
+		back := make([]byte, 16)
+		p.XORLine(back, ct, addr)
+		return bytes.Equal(back, data[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPadSourcePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero line size did not panic")
+		}
+	}()
+	NewPadSource(NewLFSR(1), 1, 0)
+}
+
+func TestPadSourceWrongBufferPanics(t *testing.T) {
+	p := NewPadSource(NewLFSR(1), 1, 16)
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong pad buffer size did not panic")
+		}
+	}()
+	p.Pad(make([]byte, 8), 0)
+}
+
+// Crude balance check: keystreams should be roughly half ones.
+func TestKeystreamBitBalance(t *testing.T) {
+	for name, ks := range map[string]Keystream{
+		"lfsr":  NewLFSR(31337),
+		"geffe": NewGeffe(31337),
+	} {
+		ones := 0
+		const n = 4096
+		for i := 0; i < n; i++ {
+			b := ks.Next()
+			for j := 0; j < 8; j++ {
+				ones += int(b >> uint(j) & 1)
+			}
+		}
+		total := n * 8
+		if ones < total*45/100 || ones > total*55/100 {
+			t.Errorf("%s: bit balance off: %d/%d ones", name, ones, total)
+		}
+	}
+}
+
+func BenchmarkGeffePad(b *testing.B) {
+	p := NewPadSource(NewGeffe(0), 1, 32)
+	pad := make([]byte, 32)
+	b.SetBytes(32)
+	for i := 0; i < b.N; i++ {
+		p.Pad(pad, uint64(i)*32)
+	}
+}
+
+func BenchmarkRC4(b *testing.B) {
+	r, _ := NewRC4([]byte("benchkey"))
+	b.SetBytes(1)
+	for i := 0; i < b.N; i++ {
+		r.Next()
+	}
+}

@@ -1,0 +1,127 @@
+// Package cacheside implements the survey's Figure 7b proposal: the EDU
+// between the CPU core and the cache, so that even on-chip cache
+// contents are ciphered. Section 4 of the paper dissects why this is
+// "critical": it sits on the CPU–cache timing path, it demands an
+// on-chip keystream memory "equivalent to the cache memory in term of
+// size", and it "seems to provide no benefit in term of performance when
+// compared to a stream cipher located between cache memory and memory
+// controller". Experiment E11 reproduces that verdict.
+package cacheside
+
+import (
+	"fmt"
+
+	"repro/internal/crypto/stream"
+	"repro/internal/edu"
+)
+
+// Config assembles a cache-side engine.
+type Config struct {
+	// Name labels the engine.
+	Name string
+	// Pads supplies the keystream; the deciphering key stream for a line
+	// must be reproducible, so it is address-seeded like the Fig. 7a
+	// stream engine — but here a copy is also held in on-chip RAM.
+	Pads *stream.PadSource
+	// CacheAccessPenalty is the extra CPU cycles added to EVERY cache
+	// access by the in-path XOR and keystream lookup (≥1: "modifying the
+	// cache access time directly impacts the system performance").
+	CacheAccessPenalty int
+	// CacheBytes is the cache capacity; the keystream store must match
+	// it, and its area is what makes the scheme "unaffordable".
+	CacheBytes int
+	// KeystreamCyclesPerByte is the generator rate for refilling the
+	// keystream store on a miss.
+	KeystreamCyclesPerByte int
+	// GeneratorGates is the keystream generator's own area.
+	GeneratorGates int
+}
+
+// GatesPerKeystreamByte approximates on-chip SRAM cost in gate
+// equivalents per byte (6T cells plus decode/sense overhead).
+const GatesPerKeystreamByte = 12
+
+// Engine is a configured Figure 7b EDU.
+type Engine struct{ cfg Config }
+
+// New builds the engine.
+func New(cfg Config) (*Engine, error) {
+	switch {
+	case cfg.Pads == nil:
+		return nil, fmt.Errorf("cacheside: nil pad source")
+	case cfg.CacheAccessPenalty < 1:
+		return nil, fmt.Errorf("cacheside: access penalty must be >= 1 (the unit is on the cache path)")
+	case cfg.CacheBytes <= 0:
+		return nil, fmt.Errorf("cacheside: cache size must be positive")
+	case cfg.KeystreamCyclesPerByte <= 0:
+		return nil, fmt.Errorf("cacheside: non-positive keystream rate")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "cpu<->cache stream"
+	}
+	return &Engine{cfg}, nil
+}
+
+// Name implements edu.Engine.
+func (e *Engine) Name() string { return e.cfg.Name }
+
+// Placement implements edu.Engine.
+func (e *Engine) Placement() edu.Placement { return edu.PlacementCPUCache }
+
+// BlockBytes implements edu.Engine.
+func (e *Engine) BlockBytes() int { return 1 }
+
+// Gates implements edu.Engine: generator plus the doubled on-chip
+// memory — "to add an on-chip memory equivalent to the cache memory in
+// term of size" — which dominates.
+func (e *Engine) Gates() int {
+	return e.cfg.GeneratorGates + e.cfg.CacheBytes*GatesPerKeystreamByte
+}
+
+// EncryptLine / DecryptLine: the cache stores ciphertext, and that same
+// ciphertext continues over the bus, so the line transform at the chip
+// boundary is the identity on the already-ciphered bytes; but LoadImage
+// and ReadPlain go through the engine, so the transform applied here is
+// the pad XOR that the CPU-side unit performs.
+func (e *Engine) EncryptLine(addr uint64, dst, src []byte) { e.xor(addr, dst, src) }
+
+// DecryptLine implements edu.Engine.
+func (e *Engine) DecryptLine(addr uint64, dst, src []byte) { e.xor(addr, dst, src) }
+
+func (e *Engine) xor(addr uint64, dst, src []byte) {
+	ls := e.cfg.Pads.LineSize()
+	pad := make([]byte, ls)
+	for off := 0; off < len(src); off += ls {
+		e.cfg.Pads.Pad(pad, addr+uint64(off))
+		n := len(src) - off
+		if n > ls {
+			n = ls
+		}
+		for i := 0; i < n; i++ {
+			dst[off+i] = src[off+i] ^ pad[i]
+		}
+	}
+}
+
+// PerAccessCycles implements edu.Engine: the defining cost of this
+// placement — every hit pays it too.
+func (e *Engine) PerAccessCycles() uint64 { return uint64(e.cfg.CacheAccessPenalty) }
+
+// ReadExtraCycles implements edu.Engine: on a miss the keystream for the
+// incoming line must be generated (and parked in the keystream store)
+// within the external fetch window; only the shortfall stalls. This is
+// §4's constraint verbatim.
+func (e *Engine) ReadExtraCycles(_ uint64, lineBytes int, transferCycles uint64) uint64 {
+	ks := uint64(lineBytes * e.cfg.KeystreamCyclesPerByte)
+	if ks > transferCycles {
+		return ks - transferCycles
+	}
+	return 0
+}
+
+// WriteExtraCycles implements edu.Engine: outbound lines are already
+// ciphertext in the cache; they leave as-is.
+func (e *Engine) WriteExtraCycles(uint64, int) uint64 { return 0 }
+
+// NeedsRMW implements edu.Engine.
+func (e *Engine) NeedsRMW(int) bool { return false }

@@ -1,0 +1,211 @@
+// Package keyexchange implements the survey's Figure 1 protocol: secret
+// key exchange over a non-secure transmission channel, the six steps by
+// which a software editor delivers ciphered software that only one
+// "secure" processor can install:
+//
+//  1. The chip manufacturer provisions a private key Dm inside the
+//     processor's non-volatile memory and publishes Em.
+//  2. The processor requests the session key K from the editor.
+//  3. The editor obtains Em from the manufacturer over the open channel.
+//  4. The editor sends K enciphered under Em over the open channel.
+//  5. Only the processor can decipher K with Dm.
+//  6. The processor uses K (symmetric) to decipher the software and
+//     installs it in external memory (re-ciphered by its bus engine).
+//
+// Every message crosses a Channel that any number of eavesdroppers tap;
+// the tests and example verify the eavesdropper ends with nothing usable
+// while the processor recovers the exact software image.
+package keyexchange
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/crypto/aes"
+	"repro/internal/crypto/modes"
+	"repro/internal/crypto/rsa"
+)
+
+// SessionKeyBytes is the symmetric session key size (AES-128).
+const SessionKeyBytes = 16
+
+// Message is one transmission on the open channel.
+type Message struct {
+	From, To string
+	Kind     string // "pubkey-request", "pubkey", "key-request", "wrapped-key", "software"
+	Body     []byte
+}
+
+// Eavesdropper sees every message on the channel.
+type Eavesdropper interface {
+	Intercept(Message)
+}
+
+// Channel is the non-secure transmission channel of Figure 1: it
+// delivers faithfully but privately to no one.
+type Channel struct {
+	taps []Eavesdropper
+	log  []Message
+}
+
+// Tap attaches an eavesdropper.
+func (c *Channel) Tap(e Eavesdropper) { c.taps = append(c.taps, e) }
+
+// Send transmits msg, copying it to every tap.
+func (c *Channel) Send(msg Message) Message {
+	c.log = append(c.log, msg)
+	for _, t := range c.taps {
+		t.Intercept(msg)
+	}
+	return msg
+}
+
+// Log returns all traffic so far (the channel is public, after all).
+func (c *Channel) Log() []Message { return c.log }
+
+// Manufacturer is the chip maker: it provisions processors and answers
+// public-key requests (step 3).
+type Manufacturer struct {
+	keys map[string]*rsa.PrivateKey // serial -> keypair
+	rng  *rand.Rand
+	bits int
+}
+
+// NewManufacturer creates a manufacturer with its key-generation RNG.
+func NewManufacturer(seed int64, rsaBits int) *Manufacturer {
+	return &Manufacturer{keys: make(map[string]*rsa.PrivateKey), rng: rand.New(rand.NewSource(seed)), bits: rsaBits}
+}
+
+// Provision fabricates a processor with serial and a fresh keypair; Dm
+// goes into the part's non-volatile memory (step 1).
+func (m *Manufacturer) Provision(serial string) (*Processor, error) {
+	key, err := rsa.GenerateKey(m.rng, m.bits)
+	if err != nil {
+		return nil, fmt.Errorf("keyexchange: provisioning %s: %w", serial, err)
+	}
+	m.keys[serial] = key
+	return &Processor{Serial: serial, dm: key}, nil
+}
+
+// PublicKey answers an editor's request for Em over ch (step 3). The
+// response travels in the clear — Em is public by design.
+func (m *Manufacturer) PublicKey(ch *Channel, serial string) (*rsa.PublicKey, error) {
+	key, ok := m.keys[serial]
+	if !ok {
+		return nil, fmt.Errorf("keyexchange: unknown serial %q", serial)
+	}
+	ch.Send(Message{From: "manufacturer", To: "editor", Kind: "pubkey",
+		Body: append(key.N.Bytes(), key.E.Bytes()...)})
+	return &key.PublicKey, nil
+}
+
+// Editor is the software editor: it owns plaintext software and a
+// session key, and ships both protected (steps 2, 4).
+type Editor struct {
+	rng      *rand.Rand
+	software []byte
+}
+
+// NewEditor creates an editor owning the given software image.
+func NewEditor(seed int64, software []byte) *Editor {
+	return &Editor{rng: rand.New(rand.NewSource(seed)), software: software}
+}
+
+// Deliver runs the editor's side: draw a session key K, wrap it under
+// Em, send it (step 4), then send the software ciphered under K. The
+// software cipher is AES-CTR keyed by K (a symmetric algorithm of the
+// editor's choosing, per §2.1).
+func (e *Editor) Deliver(ch *Channel, em *rsa.PublicKey) error {
+	k := make([]byte, SessionKeyBytes)
+	e.rng.Read(k)
+
+	wrapped, err := rsa.Encrypt(e.rng, em, k)
+	if err != nil {
+		return fmt.Errorf("keyexchange: wrapping K: %w", err)
+	}
+	ch.Send(Message{From: "editor", To: "processor", Kind: "wrapped-key", Body: wrapped})
+
+	blk, err := aes.New(k)
+	if err != nil {
+		return err
+	}
+	ct := make([]byte, len(e.software))
+	modes.NewCTR(blk, 0).XOR(ct, e.software, 0)
+	ch.Send(Message{From: "editor", To: "processor", Kind: "software", Body: ct})
+	return nil
+}
+
+// Processor is the secure SoC: Dm in non-volatile memory, and an
+// install target for the deciphered software (steps 5–6).
+type Processor struct {
+	Serial string
+	dm     *rsa.PrivateKey
+
+	sessionKey []byte
+	installed  []byte
+}
+
+// RequestKey emits the processor's session-key request (step 2).
+func (p *Processor) RequestKey(ch *Channel) {
+	ch.Send(Message{From: "processor", To: "editor", Kind: "key-request", Body: []byte(p.Serial)})
+}
+
+// Receive processes a delivery message addressed to the processor,
+// unwrapping K with Dm (step 5) and deciphering software with K (step 6).
+func (p *Processor) Receive(msg Message) error {
+	switch msg.Kind {
+	case "wrapped-key":
+		k, err := rsa.Decrypt(p.dm, msg.Body)
+		if err != nil {
+			return fmt.Errorf("keyexchange: unwrapping K: %w", err)
+		}
+		if len(k) != SessionKeyBytes {
+			return errors.New("keyexchange: session key has wrong length")
+		}
+		p.sessionKey = k
+		return nil
+	case "software":
+		if p.sessionKey == nil {
+			return errors.New("keyexchange: software before session key")
+		}
+		blk, err := aes.New(p.sessionKey)
+		if err != nil {
+			return err
+		}
+		p.installed = make([]byte, len(msg.Body))
+		modes.NewCTR(blk, 0).XOR(p.installed, msg.Body, 0)
+		return nil
+	default:
+		return nil // requests and pubkeys are not for us to act on
+	}
+}
+
+// Installed returns the deciphered software image (nil before step 6).
+func (p *Processor) Installed() []byte { return p.installed }
+
+// Run executes the full Figure 1 protocol between the parties over ch
+// and returns the processor's installed image.
+func Run(ch *Channel, m *Manufacturer, e *Editor, p *Processor) ([]byte, error) {
+	p.RequestKey(ch) // step 2
+	em, err := m.PublicKey(ch, p.Serial)
+	if err != nil { // step 3
+		return nil, err
+	}
+	if err := e.Deliver(ch, em); err != nil { // step 4
+		return nil, err
+	}
+	// Steps 5 and 6: the processor consumes its deliveries off the
+	// channel log (the transport is public; addressing is cosmetic).
+	for _, msg := range ch.Log() {
+		if msg.To == "processor" {
+			if err := p.Receive(msg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.Installed() == nil {
+		return nil, errors.New("keyexchange: protocol completed without installing software")
+	}
+	return p.Installed(), nil
+}

@@ -1,0 +1,149 @@
+package keyexchange
+
+import (
+	"bytes"
+	"testing"
+)
+
+// passiveSpy records everything crossing the channel.
+type passiveSpy struct {
+	messages []Message
+}
+
+func (s *passiveSpy) Intercept(m Message) { s.messages = append(s.messages, m) }
+
+func (s *passiveSpy) allBytes() []byte {
+	var out []byte
+	for _, m := range s.messages {
+		out = append(out, m.Body...)
+	}
+	return out
+}
+
+const rsaBits = 512
+
+func software() []byte {
+	return bytes.Repeat([]byte("PROPRIETARY GAME ENGINE CODE ++ "), 8)
+}
+
+func TestProtocolDeliversSoftware(t *testing.T) {
+	ch := &Channel{}
+	m := NewManufacturer(1, rsaBits)
+	p, err := m.Provision("SN-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEditor(2, software())
+	got, err := Run(ch, m, e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, software()) {
+		t.Fatal("processor installed different software")
+	}
+}
+
+// The heart of Figure 1: an eavesdropper on the open channel sees all
+// five message kinds yet never the session key or the plaintext software.
+func TestEavesdropperLearnsNothingUsable(t *testing.T) {
+	ch := &Channel{}
+	spy := &passiveSpy{}
+	ch.Tap(spy)
+
+	m := NewManufacturer(3, rsaBits)
+	p, err := m.Provision("SN-002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEditor(4, software())
+	if _, err := Run(ch, m, e, p); err != nil {
+		t.Fatal(err)
+	}
+
+	captured := spy.allBytes()
+	if bytes.Contains(captured, software()[:16]) {
+		t.Error("plaintext software crossed the open channel")
+	}
+	if bytes.Contains(captured, p.sessionKey) {
+		t.Error("session key crossed the open channel in clear")
+	}
+	// But the protocol is not hiding its existence: the spy does see
+	// traffic of each kind.
+	kinds := map[string]bool{}
+	for _, msg := range spy.messages {
+		kinds[msg.Kind] = true
+	}
+	for _, k := range []string{"key-request", "pubkey", "wrapped-key", "software"} {
+		if !kinds[k] {
+			t.Errorf("expected to observe %q traffic", k)
+		}
+	}
+}
+
+// A second processor (different Dm) cannot unwrap the session key.
+func TestWrongProcessorCannotInstall(t *testing.T) {
+	ch := &Channel{}
+	m := NewManufacturer(5, rsaBits)
+	legit, err := m.Provision("SN-003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	thief, err := m.Provision("SN-EVIL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEditor(6, software())
+	if _, err := Run(ch, m, e, legit); err != nil {
+		t.Fatal(err)
+	}
+
+	// The thief replays the channel log into its own Receive.
+	var thiefErr error
+	for _, msg := range ch.Log() {
+		if msg.To == "processor" {
+			if err := thief.Receive(msg); err != nil {
+				thiefErr = err
+			}
+		}
+	}
+	if thiefErr == nil && bytes.Equal(thief.Installed(), software()) {
+		t.Fatal("a different processor recovered the software")
+	}
+}
+
+func TestProtocolOrderEnforced(t *testing.T) {
+	m := NewManufacturer(7, rsaBits)
+	p, _ := m.Provision("SN-004")
+	err := p.Receive(Message{Kind: "software", Body: []byte("ciphertext")})
+	if err == nil {
+		t.Error("software accepted before session key")
+	}
+}
+
+func TestUnknownSerialRejected(t *testing.T) {
+	m := NewManufacturer(8, rsaBits)
+	if _, err := m.PublicKey(&Channel{}, "SN-MISSING"); err == nil {
+		t.Error("unknown serial answered")
+	}
+}
+
+func TestIrrelevantMessagesIgnored(t *testing.T) {
+	m := NewManufacturer(9, rsaBits)
+	p, _ := m.Provision("SN-005")
+	if err := p.Receive(Message{Kind: "key-request"}); err != nil {
+		t.Errorf("irrelevant message errored: %v", err)
+	}
+}
+
+func TestChannelLogIsComplete(t *testing.T) {
+	ch := &Channel{}
+	m := NewManufacturer(10, rsaBits)
+	p, _ := m.Provision("SN-006")
+	e := NewEditor(11, software())
+	if _, err := Run(ch, m, e, p); err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Log()) != 4 {
+		t.Errorf("channel log has %d messages, want 4", len(ch.Log()))
+	}
+}

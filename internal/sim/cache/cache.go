@@ -1,0 +1,243 @@
+// Package cache models the on-chip cache that sits between the CPU core
+// and the memory controller in every architecture the survey draws
+// (Figures 2c, 7a, 7b). It is a timing/state model, not a data store:
+// the simulator tracks which lines are resident and dirty, and the
+// engines cost the traffic the cache emits on its external side.
+package cache
+
+import "fmt"
+
+// Policy selects the replacement discipline within a set.
+type Policy int
+
+const (
+	// LRU replaces the least recently used way.
+	LRU Policy = iota
+	// FIFO replaces in insertion order.
+	FIFO
+)
+
+// WriteMode selects the write-hit policy.
+type WriteMode int
+
+const (
+	// WriteBack marks the line dirty and writes it out on eviction.
+	WriteBack WriteMode = iota
+	// WriteThrough propagates every store to memory immediately.
+	WriteThrough
+)
+
+// Config fixes the cache geometry.
+type Config struct {
+	// Size is total capacity in bytes.
+	Size int
+	// LineSize is the block size in bytes (the survey's "cache block",
+	// the ciphering granule of the AEGIS engine).
+	LineSize int
+	// Ways is the associativity (1 = direct mapped).
+	Ways int
+	// Policy is the replacement policy.
+	Policy Policy
+	// WriteMode is the write-hit policy; write misses allocate in
+	// WriteBack mode and bypass in WriteThrough mode.
+	WriteMode WriteMode
+}
+
+// Validate checks geometry sanity.
+func (c Config) Validate() error {
+	switch {
+	case c.Size <= 0 || c.LineSize <= 0 || c.Ways <= 0:
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	case c.Size%(c.LineSize*c.Ways) != 0:
+		return fmt.Errorf("cache: size %d not divisible by line*ways %d", c.Size, c.LineSize*c.Ways)
+	case c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineSize)
+	}
+	sets := c.Size / (c.LineSize * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits         uint64
+	Misses       uint64
+	Evictions    uint64
+	Writebacks   uint64 // dirty evictions
+	WriteThrough uint64 // stores propagated in write-through mode
+}
+
+// MissRate returns misses / (hits + misses).
+func (s Stats) MissRate() float64 {
+	d := s.Hits + s.Misses
+	if d == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(d)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp or FIFO insertion order
+}
+
+// Cache is one cache instance.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	setsN uint64
+	tick  uint64
+	stats Stats
+}
+
+// New builds a cache or reports a bad geometry.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	setsN := cfg.Size / (cfg.LineSize * cfg.Ways)
+	sets := make([][]line, setsN)
+	backing := make([]line, setsN*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{cfg: cfg, sets: sets, setsN: uint64(setsN)}, nil
+}
+
+// Config returns the geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the event counters so far.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters (state stays warm).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ uint64(c.cfg.LineSize-1)
+}
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	lineNo := addr / uint64(c.cfg.LineSize)
+	return lineNo % c.setsN, lineNo / c.setsN
+}
+
+// Result describes what one access did on the cache's external side.
+type Result struct {
+	// Hit reports whether the access hit.
+	Hit bool
+	// FillAddr is the line-aligned address fetched from memory on a
+	// miss-with-allocate (0 and Fill=false otherwise).
+	Fill     bool
+	FillAddr uint64
+	// WritebackAddr is the line-aligned dirty victim written to memory.
+	Writeback     bool
+	WritebackAddr uint64
+	// Through reports a write-through store of Size bytes at Addr.
+	Through bool
+}
+
+// Access performs one reference. isStore marks data writes. It returns
+// the external traffic generated, which the SoC model converts to bus
+// and engine activity.
+func (c *Cache) Access(addr uint64, isStore bool) Result {
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	c.tick++
+
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.stats.Hits++
+			if c.cfg.Policy == LRU {
+				ways[i].used = c.tick
+			}
+			var res Result
+			res.Hit = true
+			if isStore {
+				switch c.cfg.WriteMode {
+				case WriteBack:
+					ways[i].dirty = true
+				case WriteThrough:
+					c.stats.WriteThrough++
+					res.Through = true
+				}
+			}
+			return res
+		}
+	}
+
+	c.stats.Misses++
+	var res Result
+
+	if isStore && c.cfg.WriteMode == WriteThrough {
+		// No-allocate on write miss: the store goes straight out.
+		c.stats.WriteThrough++
+		res.Through = true
+		return res
+	}
+
+	// Choose a victim: first invalid way, else policy minimum.
+	victim := -1
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim == -1 {
+		victim = 0
+		for i := 1; i < len(ways); i++ {
+			if ways[i].used < ways[victim].used {
+				victim = i
+			}
+		}
+		c.stats.Evictions++
+		if ways[victim].dirty {
+			c.stats.Writebacks++
+			res.Writeback = true
+			res.WritebackAddr = (ways[victim].tag*c.setsN + set) * uint64(c.cfg.LineSize)
+		}
+	}
+
+	ways[victim] = line{tag: tag, valid: true, used: c.tick}
+	if isStore && c.cfg.WriteMode == WriteBack {
+		ways[victim].dirty = true
+	}
+	res.Fill = true
+	res.FillAddr = c.LineAddr(addr)
+	return res
+}
+
+// FlushDirty returns the line addresses of all dirty lines and marks
+// them clean — used when tearing a system down so writeback traffic is
+// fully accounted.
+func (c *Cache) FlushDirty() []uint64 {
+	var out []uint64
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			l := &c.sets[s][w]
+			if l.valid && l.dirty {
+				out = append(out, (l.tag*c.setsN+uint64(s))*uint64(c.cfg.LineSize))
+				l.dirty = false
+			}
+		}
+	}
+	return out
+}
+
+// Contains reports whether addr's line is resident (test helper and
+// attack-model primitive: a probe cannot see cache-hit traffic).
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, l := range c.sets[set] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+// Package dram models the external RAM of the survey's system diagrams:
+// a row-buffer timing model plus an actual byte store, because the
+// attacks need real memory contents to dump ("he dumped the external
+// memory content in clear form through the parallel-port").
+package dram
+
+import "fmt"
+
+// Config fixes the memory timing, in memory-clock cycles.
+type Config struct {
+	// RowHitCycles is the access time when the open row matches.
+	RowHitCycles int
+	// RowMissCycles is the access time including precharge + activate.
+	RowMissCycles int
+	// RowSize is the row-buffer span in bytes (power of two).
+	RowSize int
+	// ClockDivider is CPU cycles per memory cycle.
+	ClockDivider int
+}
+
+// Validate checks parameters.
+func (c Config) Validate() error {
+	switch {
+	case c.RowHitCycles <= 0 || c.RowMissCycles < c.RowHitCycles:
+		return fmt.Errorf("dram: bad latencies %+v", c)
+	case c.RowSize <= 0 || c.RowSize&(c.RowSize-1) != 0:
+		return fmt.Errorf("dram: row size %d not a power of two", c.RowSize)
+	case c.ClockDivider <= 0:
+		return fmt.Errorf("dram: bad clock divider %d", c.ClockDivider)
+	}
+	return nil
+}
+
+// DefaultConfig is a 2005-flavour SDR/DDR-ish part: fast row hits,
+// expensive row misses, 2 KiB rows, memory clock at a third of the core.
+func DefaultConfig() Config {
+	return Config{RowHitCycles: 4, RowMissCycles: 12, RowSize: 2048, ClockDivider: 3}
+}
+
+// DRAM is one external memory instance.
+type DRAM struct {
+	cfg     Config
+	openRow uint64
+	hasOpen bool
+	store   map[uint64][]byte // page-granular backing store (4 KiB pages)
+	// Stats
+	Accesses uint64
+	RowHits  uint64
+}
+
+const pageSize = 4096
+
+// New builds a memory.
+func New(cfg Config) (*DRAM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &DRAM{cfg: cfg, store: make(map[uint64][]byte)}, nil
+}
+
+// Config returns the timing parameters.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// AccessCycles returns the CPU-cycle latency for touching addr,
+// updating the row-buffer state.
+func (d *DRAM) AccessCycles(addr uint64) uint64 {
+	row := addr / uint64(d.cfg.RowSize)
+	d.Accesses++
+	cycles := d.cfg.RowMissCycles
+	if d.hasOpen && d.openRow == row {
+		cycles = d.cfg.RowHitCycles
+		d.RowHits++
+	}
+	d.openRow, d.hasOpen = row, true
+	return uint64(cycles * d.cfg.ClockDivider)
+}
+
+func (d *DRAM) page(addr uint64) []byte {
+	base := addr &^ (pageSize - 1)
+	p, ok := d.store[base]
+	if !ok {
+		p = make([]byte, pageSize)
+		d.store[base] = p
+	}
+	return p
+}
+
+// Write stores data at addr (no timing; pair with AccessCycles).
+func (d *DRAM) Write(addr uint64, data []byte) {
+	for len(data) > 0 {
+		p := d.page(addr)
+		off := int(addr & (pageSize - 1))
+		n := copy(p[off:], data)
+		data = data[n:]
+		addr += uint64(n)
+	}
+}
+
+// Read fetches n bytes at addr; untouched memory reads as zero.
+func (d *DRAM) Read(addr uint64, n int) []byte {
+	out := make([]byte, 0, n)
+	for n > 0 {
+		p := d.page(addr)
+		off := int(addr & (pageSize - 1))
+		take := pageSize - off
+		if take > n {
+			take = n
+		}
+		out = append(out, p[off:off+take]...)
+		n -= take
+		addr += uint64(take)
+	}
+	return out
+}
+
+// Dump copies out [addr, addr+n): the attacker's memory image, exactly
+// what a parallel-port dump or a desoldered chip read would produce.
+func (d *DRAM) Dump(addr uint64, n int) []byte { return d.Read(addr, n) }
+
+// RowHitRate reports the fraction of accesses that hit the open row.
+func (d *DRAM) RowHitRate() float64 {
+	if d.Accesses == 0 {
+		return 0
+	}
+	return float64(d.RowHits) / float64(d.Accesses)
+}

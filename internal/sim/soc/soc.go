@@ -1,0 +1,328 @@
+// Package soc composes the simulated system-on-chip of the survey's
+// Figure 2c: trace-driven CPU core, on-chip cache, an encryption/
+// decryption unit at one of the Figure 7 placements, the external bus
+// (probe-able), and external DRAM. It produces the cycle counts from
+// which every experiment's overhead figure is derived.
+//
+// The timing model is deterministic cycle accounting for an in-order,
+// single-issue core: each trace reference contributes its compute gap,
+// the cache hit time, and — on misses and write-throughs — the memory
+// transfer plus whatever stall the engine adds. DESIGN.md §4 documents
+// why this level of modeling preserves the survey's relative results.
+package soc
+
+import (
+	"fmt"
+
+	"repro/internal/edu"
+	"repro/internal/sim/bus"
+	"repro/internal/sim/cache"
+	"repro/internal/sim/dram"
+	"repro/internal/sim/trace"
+)
+
+// Config assembles a system.
+type Config struct {
+	Cache cache.Config
+	Bus   bus.Config
+	DRAM  dram.Config
+	// CacheHitCycles is the L1 hit latency in CPU cycles.
+	CacheHitCycles int
+	// Engine is the bus-encryption unit; nil means edu.Null{}.
+	Engine edu.Engine
+}
+
+// DefaultConfig is the reference 2005-class embedded system used across
+// the experiments: 16 KiB 4-way cache with 32-byte lines, a 32-bit bus
+// at half the core clock, and DefaultConfig DRAM.
+func DefaultConfig() Config {
+	return Config{
+		Cache: cache.Config{
+			Size: 16 << 10, LineSize: 32, Ways: 4,
+			Policy: cache.LRU, WriteMode: cache.WriteBack,
+		},
+		Bus:            bus.Config{WidthBytes: 4, ClockDivider: 2, AddressCycles: 2},
+		DRAM:           dram.DefaultConfig(),
+		CacheHitCycles: 1,
+	}
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	EngineName   string
+	Workload     string
+	Cycles       uint64
+	Instructions uint64 // fetch count
+	Refs         uint64
+	StallCycles  uint64 // cycles beyond compute + hit time
+	EngineStalls uint64 // the portion attributable to the engine
+	RMWEvents    uint64 // partial writes that forced read-modify-write
+	Cache        cache.Stats
+	BusBytes     uint64
+	BusTxns      uint64
+}
+
+// CPI returns cycles per instruction.
+func (r Report) CPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instructions)
+}
+
+// OverheadVs returns the fractional slowdown of r relative to the
+// baseline run base (0.25 = 25 % more cycles), the number every
+// surveyed paper quotes.
+func (r Report) OverheadVs(base Report) float64 {
+	if base.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Cycles)/float64(base.Cycles) - 1
+}
+
+// SoC is one assembled system.
+type SoC struct {
+	cfg    Config
+	cache  *cache.Cache
+	bus    *bus.Bus
+	dram   *dram.DRAM
+	engine edu.Engine
+	shadow map[uint64][]byte // plaintext of resident lines, for writeback data
+}
+
+// New assembles a system from cfg.
+func New(cfg Config) (*SoC, error) {
+	c, err := cache.New(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	b, err := bus.New(cfg.Bus)
+	if err != nil {
+		return nil, err
+	}
+	d, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = edu.Null{}
+	}
+	if cfg.CacheHitCycles <= 0 {
+		return nil, fmt.Errorf("soc: non-positive cache hit latency %d", cfg.CacheHitCycles)
+	}
+	if cfg.Cache.LineSize%eng.BlockBytes() != 0 {
+		return nil, fmt.Errorf("soc: line size %d not a multiple of engine granule %d",
+			cfg.Cache.LineSize, eng.BlockBytes())
+	}
+	return &SoC{
+		cfg: cfg, cache: c, bus: b, dram: d, engine: eng,
+		shadow: make(map[uint64][]byte),
+	}, nil
+}
+
+// Bus exposes the bus for probe attachment.
+func (s *SoC) Bus() *bus.Bus { return s.bus }
+
+// DRAM exposes external memory (the attacker can dump it).
+func (s *SoC) DRAM() *dram.DRAM { return s.dram }
+
+// Engine returns the installed engine.
+func (s *SoC) Engine() edu.Engine { return s.engine }
+
+// LoadImage installs plaintext data into external memory through the
+// engine, line by line — the survey's step 6: "the processor uses K and
+// a symmetric algorithm to decipher the software and to install the code
+// in the external memory" (installed re-ciphered under the bus engine).
+func (s *SoC) LoadImage(addr uint64, data []byte) error {
+	ls := s.cfg.Cache.LineSize
+	if addr%uint64(ls) != 0 {
+		return fmt.Errorf("soc: image base %#x not line aligned", addr)
+	}
+	for off := 0; off < len(data); off += ls {
+		line := make([]byte, ls)
+		copy(line, data[off:])
+		ct := make([]byte, ls)
+		s.engine.EncryptLine(addr+uint64(off), ct, line)
+		s.dram.Write(addr+uint64(off), ct)
+	}
+	return nil
+}
+
+// ReadPlain fetches n bytes at addr through the engine (a debug/verify
+// path, no timing): what the CPU would see.
+func (s *SoC) ReadPlain(addr uint64, n int) []byte {
+	ls := s.cfg.Cache.LineSize
+	start := addr &^ uint64(ls-1)
+	end := (addr + uint64(n) + uint64(ls) - 1) &^ uint64(ls-1)
+	out := make([]byte, 0, end-start)
+	for a := start; a < end; a += uint64(ls) {
+		ct := s.dram.Read(a, ls)
+		pt := make([]byte, ls)
+		s.engine.DecryptLine(a, pt, ct)
+		out = append(out, pt...)
+	}
+	off := int(addr - start)
+	return out[off : off+n]
+}
+
+// lineData returns the plaintext the SoC believes lives at lineAddr,
+// consulting the shadow of resident lines first.
+func (s *SoC) lineData(lineAddr uint64) []byte {
+	if d, ok := s.shadow[lineAddr]; ok {
+		return d
+	}
+	ls := s.cfg.Cache.LineSize
+	ct := s.dram.Read(lineAddr, ls)
+	pt := make([]byte, ls)
+	s.engine.DecryptLine(lineAddr, pt, ct)
+	return pt
+}
+
+// transferSize asks the engine how many bytes of a line actually cross
+// the bus (compressed code moves fewer — Figure 8).
+func (s *SoC) transferSize(lineAddr uint64, lineBytes int) int {
+	if ts, ok := s.engine.(edu.TransferSizer); ok {
+		if n := ts.TransferBytes(lineAddr, lineBytes); n > 0 && n < lineBytes {
+			return n
+		}
+	}
+	return lineBytes
+}
+
+// fill performs a line fill: DRAM access, bus transfer of ciphertext,
+// engine decryption. Returns total CPU cycles for the miss path.
+func (s *SoC) fill(lineAddr uint64) (cycles, engineStall uint64) {
+	ls := s.cfg.Cache.LineSize
+	dramCycles := s.dram.AccessCycles(lineAddr)
+	ct := s.dram.Read(lineAddr, ls)
+	busCycles := s.bus.Transfer(bus.Read, lineAddr, ct[:s.transferSize(lineAddr, ls)])
+	pt := make([]byte, ls)
+	s.engine.DecryptLine(lineAddr, pt, ct)
+	s.shadow[lineAddr] = pt
+	transfer := dramCycles + busCycles
+	extra := s.engine.ReadExtraCycles(lineAddr, ls, transfer)
+	return transfer + extra, extra
+}
+
+// spill writes a (dirty) line out: engine encryption, bus, DRAM.
+func (s *SoC) spill(lineAddr uint64) (cycles, engineStall uint64) {
+	ls := s.cfg.Cache.LineSize
+	pt := s.lineData(lineAddr)
+	ct := make([]byte, ls)
+	s.engine.EncryptLine(lineAddr, ct, pt)
+	dramCycles := s.dram.AccessCycles(lineAddr)
+	busCycles := s.bus.Transfer(bus.Write, lineAddr, ct[:s.transferSize(lineAddr, ls)])
+	s.dram.Write(lineAddr, ct)
+	extra := s.engine.WriteExtraCycles(lineAddr, ls)
+	delete(s.shadow, lineAddr)
+	return dramCycles + busCycles + extra, extra
+}
+
+// writeThrough costs a store of size bytes at addr going straight to
+// memory. If the store granule is smaller than the engine's block, the
+// survey's five-step read-decipher-modify-recipher-write sequence runs.
+func (s *SoC) writeThrough(addr uint64, size int, rep *Report) (cycles, engineStall uint64) {
+	bb := s.engine.BlockBytes()
+	if s.engine.NeedsRMW(size) {
+		rep.RMWEvents++
+		blockAddr := addr &^ uint64(bb-1)
+		// Read the enclosing granule...
+		dramR := s.dram.AccessCycles(blockAddr)
+		ct := s.dram.Read(blockAddr, bb)
+		busR := s.bus.Transfer(bus.Read, blockAddr, ct)
+		pt := make([]byte, bb)
+		s.engine.DecryptLine(blockAddr, pt, ct)
+		readExtra := s.engine.ReadExtraCycles(blockAddr, bb, dramR+busR)
+		// ...modify (the store data; value irrelevant to timing)...
+		pt[int(addr-blockAddr)%bb] ^= 0x5a
+		// ...re-cipher and write back.
+		s.engine.EncryptLine(blockAddr, ct, pt)
+		writeExtra := s.engine.WriteExtraCycles(blockAddr, bb)
+		dramW := s.dram.AccessCycles(blockAddr)
+		busW := s.bus.Transfer(bus.Write, blockAddr, ct)
+		s.dram.Write(blockAddr, ct)
+		stall := readExtra + writeExtra
+		return dramR + busR + dramW + busW + stall, stall
+	}
+	// Granule-aligned store: encrypt and write one granule.
+	n := size
+	if bb > n {
+		n = bb
+	}
+	blockAddr := addr &^ uint64(bb-1)
+	pt := make([]byte, n)
+	ct := make([]byte, n)
+	s.engine.EncryptLine(blockAddr, ct, pt)
+	extra := s.engine.WriteExtraCycles(blockAddr, n)
+	dramW := s.dram.AccessCycles(blockAddr)
+	busW := s.bus.Transfer(bus.Write, blockAddr, ct)
+	s.dram.Write(blockAddr, ct)
+	return dramW + busW + extra, extra
+}
+
+// Run executes tr to completion and reports the cycle accounting.
+func (s *SoC) Run(tr *trace.Trace) Report {
+	rep := Report{EngineName: s.engine.Name(), Workload: tr.Name}
+	hit := uint64(s.cfg.CacheHitCycles)
+	perAccess := s.engine.PerAccessCycles()
+
+	for _, ref := range tr.Refs {
+		rep.Refs++
+		if ref.Kind == trace.Fetch {
+			rep.Instructions++
+		}
+		rep.Cycles += uint64(ref.Compute)
+
+		isStore := ref.Kind == trace.Store
+		res := s.cache.Access(ref.Addr, isStore)
+		rep.Cycles += hit + perAccess
+
+		if res.Writeback {
+			c, e := s.spill(res.WritebackAddr)
+			rep.Cycles += c
+			rep.StallCycles += c
+			rep.EngineStalls += e
+		}
+		if res.Fill {
+			c, e := s.fill(res.FillAddr)
+			rep.Cycles += c
+			rep.StallCycles += c
+			rep.EngineStalls += e
+		}
+		if res.Through {
+			c, e := s.writeThrough(ref.Addr, int(ref.Size), &rep)
+			rep.Cycles += c
+			rep.StallCycles += c
+			rep.EngineStalls += e
+		}
+	}
+
+	rep.Cache = s.cache.Stats()
+	rep.BusBytes = s.bus.BytesMoved
+	rep.BusTxns = s.bus.Transactions
+	return rep
+}
+
+// Compare runs the same workload on a baseline (Null engine) system and
+// a system with eng installed, both built from cfg, and returns both
+// reports. This is the canonical overhead measurement every experiment
+// uses: identical geometry, identical trace, engine as the only delta.
+func Compare(cfg Config, eng edu.Engine, tr *trace.Trace) (base, with Report, err error) {
+	bcfg := cfg
+	bcfg.Engine = edu.Null{}
+	bsoc, err := New(bcfg)
+	if err != nil {
+		return base, with, err
+	}
+	base = bsoc.Run(tr)
+
+	ecfg := cfg
+	ecfg.Engine = eng
+	esoc, err := New(ecfg)
+	if err != nil {
+		return base, with, err
+	}
+	with = esoc.Run(tr)
+	return base, with, nil
+}

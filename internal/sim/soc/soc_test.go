@@ -1,0 +1,244 @@
+package soc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/edu"
+	"repro/internal/sim/bus"
+	"repro/internal/sim/cache"
+	"repro/internal/sim/trace"
+)
+
+// fixedEngine is a test engine with controllable costs and an XOR data
+// transform so ciphertext is distinguishable from plaintext.
+type fixedEngine struct {
+	block     int
+	readCost  uint64
+	writeCost uint64
+	perAccess uint64
+}
+
+func (f fixedEngine) Name() string             { return "fixed" }
+func (f fixedEngine) Placement() edu.Placement { return edu.PlacementCacheMem }
+func (f fixedEngine) BlockBytes() int          { return f.block }
+func (f fixedEngine) Gates() int               { return 1000 }
+func (f fixedEngine) EncryptLine(_ uint64, dst, src []byte) {
+	for i := range src {
+		dst[i] = src[i] ^ 0x5c
+	}
+}
+func (f fixedEngine) DecryptLine(_ uint64, dst, src []byte) {
+	for i := range src {
+		dst[i] = src[i] ^ 0x5c
+	}
+}
+func (f fixedEngine) PerAccessCycles() uint64                    { return f.perAccess }
+func (f fixedEngine) ReadExtraCycles(uint64, int, uint64) uint64 { return f.readCost }
+func (f fixedEngine) WriteExtraCycles(uint64, int) uint64        { return f.writeCost }
+func (f fixedEngine) NeedsRMW(n int) bool                        { return n < f.block }
+
+func smallTrace() *trace.Trace {
+	return trace.Sequential(trace.Config{Refs: 5000, Seed: 1, LoadFraction: 0.4, WriteFraction: 0.3, JumpRate: 0.02, Locality: 0.6})
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheHitCycles = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("zero hit latency accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Cache.Size = 100 // invalid geometry
+	if _, err := New(cfg); err == nil {
+		t.Error("bad cache accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Engine = fixedEngine{block: 48} // line 32 not divisible by 48
+	if _, err := New(cfg); err == nil {
+		t.Error("granule larger than line accepted")
+	}
+}
+
+func TestBaselineRunBasics(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := smallTrace()
+	rep := s.Run(tr)
+	st := tr.Stats()
+	if rep.Instructions != uint64(st.Fetches) {
+		t.Errorf("instructions = %d, want %d", rep.Instructions, st.Fetches)
+	}
+	if rep.Refs != uint64(st.Refs) {
+		t.Errorf("refs = %d, want %d", rep.Refs, st.Refs)
+	}
+	if rep.Cycles == 0 || rep.CPI() <= 1 {
+		t.Errorf("implausible cycle count %d (CPI %.2f)", rep.Cycles, rep.CPI())
+	}
+	if rep.EngineStalls != 0 {
+		t.Error("null engine reported stalls")
+	}
+}
+
+func TestEngineAddsOverhead(t *testing.T) {
+	cfg := DefaultConfig()
+	eng := fixedEngine{block: 16, readCost: 20, writeCost: 10}
+	base, with, err := Compare(cfg, eng, smallTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Cycles <= base.Cycles {
+		t.Errorf("engine did not slow the system: base %d with %d", base.Cycles, with.Cycles)
+	}
+	if with.OverheadVs(base) <= 0 {
+		t.Error("overhead not positive")
+	}
+	if with.EngineStalls == 0 {
+		t.Error("engine stalls not accounted")
+	}
+	// Identical cache behaviour: the engine must not perturb hits/misses.
+	if with.Cache.Misses != base.Cache.Misses {
+		t.Errorf("engine changed miss count: %d vs %d", with.Cache.Misses, base.Cache.Misses)
+	}
+}
+
+func TestZeroCostEngineZeroOverhead(t *testing.T) {
+	base, with, err := Compare(DefaultConfig(), fixedEngine{block: 1}, smallTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cycles != with.Cycles {
+		t.Errorf("zero-cost engine changed cycles: %d vs %d", base.Cycles, with.Cycles)
+	}
+}
+
+func TestPerAccessCyclesCharged(t *testing.T) {
+	cfg := DefaultConfig()
+	base, with, err := Compare(cfg, fixedEngine{block: 1, perAccess: 1}, smallTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every reference pays exactly 1 extra cycle.
+	want := base.Cycles + with.Refs
+	if with.Cycles != want {
+		t.Errorf("per-access accounting: got %d, want %d", with.Cycles, want)
+	}
+}
+
+func TestWriteThroughRMWCounted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cache.WriteMode = cache.WriteThrough
+	cfg.Engine = fixedEngine{block: 16, readCost: 5, writeCost: 5}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte stores (size 1 < block 16) must trigger RMW.
+	tr := &trace.Trace{Name: "stores", Refs: []trace.Ref{
+		{Kind: trace.Store, Addr: 0x4000_0001, Size: 1},
+		{Kind: trace.Store, Addr: 0x4000_0002, Size: 1},
+	}}
+	rep := s.Run(tr)
+	if rep.RMWEvents != 2 {
+		t.Errorf("RMW events = %d, want 2", rep.RMWEvents)
+	}
+}
+
+func TestLoadImageReadPlainRoundtrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Engine = fixedEngine{block: 16}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := []byte("this program text will live enciphered in external memory....")
+	if err := s.LoadImage(0x1000, img); err != nil {
+		t.Fatal(err)
+	}
+	// External memory must hold ciphertext...
+	raw := s.DRAM().Dump(0x1000, len(img))
+	if bytes.Contains(raw, img[:16]) {
+		t.Error("plaintext visible in DRAM")
+	}
+	// ...but the CPU-side view is plaintext.
+	got := s.ReadPlain(0x1000, len(img))
+	if !bytes.Equal(got, img) {
+		t.Errorf("ReadPlain mismatch: %q", got)
+	}
+}
+
+func TestLoadImageAlignment(t *testing.T) {
+	s, _ := New(DefaultConfig())
+	if err := s.LoadImage(0x1001, []byte("x")); err == nil {
+		t.Error("unaligned image base accepted")
+	}
+}
+
+// The probe on an encrypted system must never see installed plaintext;
+// on a plaintext system it must.
+type sniffer struct{ data []byte }
+
+func (s *sniffer) Observe(b bus.Beat) { s.data = append(s.data, b.Data...) }
+
+func TestProbeSeesCiphertextOnlyWithEngine(t *testing.T) {
+	secret := bytes.Repeat([]byte("SECRET-INSTRUCTION-STREAM!"), 4)
+	tr := &trace.Trace{Name: "touch", Refs: []trace.Ref{
+		{Kind: trace.Fetch, Addr: 0x1000, Size: 4},
+		{Kind: trace.Fetch, Addr: 0x1020, Size: 4},
+		{Kind: trace.Fetch, Addr: 0x1040, Size: 4},
+	}}
+
+	run := func(eng edu.Engine) *sniffer {
+		cfg := DefaultConfig()
+		cfg.Engine = eng
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.LoadImage(0x1000, secret); err != nil {
+			t.Fatal(err)
+		}
+		sn := &sniffer{}
+		s.Bus().Attach(sn)
+		s.Run(tr)
+		return sn
+	}
+
+	plain := run(edu.Null{})
+	if !bytes.Contains(plain.data, secret[:16]) {
+		t.Error("plaintext system: probe should capture the secret")
+	}
+	enc := run(fixedEngine{block: 16})
+	if bytes.Contains(enc.data, secret[:16]) {
+		t.Error("encrypted system: probe captured plaintext")
+	}
+}
+
+func TestReportCPIZeroInstructions(t *testing.T) {
+	if (Report{}).CPI() != 0 || (Report{}).OverheadVs(Report{}) != 0 {
+		t.Error("zero-division guards missing")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Engine = fixedEngine{block: 16, readCost: 7}
+	tr := smallTrace()
+	r1, err := func() (Report, error) {
+		s, err := New(cfg)
+		if err != nil {
+			return Report{}, err
+		}
+		return s.Run(tr), nil
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := New(cfg)
+	r2 := s2.Run(tr)
+	if r1.Cycles != r2.Cycles || r1.Cache != r2.Cache {
+		t.Error("identical runs diverged")
+	}
+}

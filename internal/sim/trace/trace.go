@@ -1,0 +1,379 @@
+// Package trace defines the memory-reference traces that drive the SoC
+// simulator and provides the synthetic workload generators substituting
+// for the benchmark suites the surveyed papers ran (per DESIGN.md §5 the
+// substitution: parametric generators whose knobs — jump rate, write
+// fraction, locality — are swept across the regimes those papers
+// measured).
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind distinguishes the three reference types an in-order core issues.
+type Kind uint8
+
+const (
+	// Fetch is an instruction fetch.
+	Fetch Kind = iota
+	// Load is a data read.
+	Load
+	// Store is a data write.
+	Store
+)
+
+// String returns the conventional short name.
+func (k Kind) String() string {
+	switch k {
+	case Fetch:
+		return "fetch"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Ref is one memory reference: an address, a size in bytes, and the gap
+// of pure compute cycles the core spends before issuing it (so traces
+// carry the paper-relevant ratio of memory activity to computation).
+type Ref struct {
+	Kind    Kind
+	Addr    uint64
+	Size    uint8  // bytes touched: 1, 2, 4 or 8
+	Compute uint16 // compute cycles preceding this reference
+}
+
+// Trace is an ordered reference stream plus the address-space split the
+// generators used, which the simulator needs to size memories.
+type Trace struct {
+	Name string
+	Refs []Ref
+}
+
+// Stats summarizes a trace's composition.
+type Stats struct {
+	Refs          int
+	Fetches       int
+	Loads         int
+	Stores        int
+	ComputeCycles uint64
+}
+
+// Stats scans the trace.
+func (t *Trace) Stats() Stats {
+	var s Stats
+	s.Refs = len(t.Refs)
+	for _, r := range t.Refs {
+		switch r.Kind {
+		case Fetch:
+			s.Fetches++
+		case Load:
+			s.Loads++
+		case Store:
+			s.Stores++
+		}
+		s.ComputeCycles += uint64(r.Compute)
+	}
+	return s
+}
+
+// WriteFraction returns stores / (loads + stores), the knob experiment
+// E3 sweeps.
+func (s Stats) WriteFraction() float64 {
+	d := s.Loads + s.Stores
+	if d == 0 {
+		return 0
+	}
+	return float64(s.Stores) / float64(d)
+}
+
+// Config parameterizes the synthetic generators. Zero values get
+// defaults from (*Config).fill.
+type Config struct {
+	// Refs is the number of references to generate.
+	Refs int
+	// Seed drives the internal PRNG; equal configs produce equal traces.
+	Seed int64
+	// CodeBase/CodeSize bound the instruction region (bytes).
+	CodeBase, CodeSize uint64
+	// DataBase/DataSize bound the data region (bytes).
+	DataBase, DataSize uint64
+	// JumpRate is the probability a fetch redirects to a random code
+	// address instead of falling through — the survey's "random data
+	// access problem (JUMP instructions)".
+	JumpRate float64
+	// LoadFraction is the probability a data access follows each fetch.
+	LoadFraction float64
+	// WriteFraction is the probability a data access is a store.
+	WriteFraction float64
+	// Locality in [0,1): probability a data access revisits a recent
+	// address rather than drawing a fresh one (drives the cache hit rate).
+	Locality float64
+	// ComputeMean is the average compute gap between references.
+	ComputeMean int
+}
+
+func (c *Config) fill() {
+	if c.Refs == 0 {
+		c.Refs = 50000
+	}
+	if c.CodeSize == 0 {
+		c.CodeBase, c.CodeSize = 0x0000_0000, 1<<20
+	}
+	if c.DataSize == 0 {
+		c.DataBase, c.DataSize = 0x4000_0000, 4<<20
+	}
+	if c.ComputeMean == 0 {
+		c.ComputeMean = 2
+	}
+}
+
+// Sequential generates straight-line code with occasional jumps and a
+// configurable mix of data accesses; the general-purpose workload.
+func Sequential(cfg Config) *Trace {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &Trace{Name: "sequential"}
+	pc := cfg.CodeBase
+	recent := make([]uint64, 0, 64)
+	for len(t.Refs) < cfg.Refs {
+		// Instruction fetch (4-byte instructions).
+		t.Refs = append(t.Refs, Ref{Kind: Fetch, Addr: pc, Size: 4, Compute: computeGap(rng, cfg.ComputeMean)})
+		if rng.Float64() < cfg.JumpRate {
+			pc = cfg.CodeBase + uint64(rng.Int63n(int64(cfg.CodeSize)))&^3
+		} else {
+			pc += 4
+			if pc >= cfg.CodeBase+cfg.CodeSize {
+				pc = cfg.CodeBase
+			}
+		}
+		if len(t.Refs) < cfg.Refs && rng.Float64() < cfg.LoadFraction {
+			var addr uint64
+			if len(recent) > 0 && rng.Float64() < cfg.Locality {
+				addr = recent[rng.Intn(len(recent))]
+			} else {
+				addr = cfg.DataBase + uint64(rng.Int63n(int64(cfg.DataSize)))&^3
+				if len(recent) < cap(recent) {
+					recent = append(recent, addr)
+				} else {
+					recent[rng.Intn(len(recent))] = addr
+				}
+			}
+			k := Load
+			if rng.Float64() < cfg.WriteFraction {
+				k = Store
+			}
+			size := uint8(4)
+			if rng.Float64() < 0.25 {
+				size = 1 // byte stores are what trigger worst-case RMW
+			}
+			t.Refs = append(t.Refs, Ref{Kind: k, Addr: addr, Size: size, Compute: computeGap(rng, cfg.ComputeMean)})
+		}
+	}
+	t.Refs = t.Refs[:cfg.Refs]
+	return t
+}
+
+// CodeOnly generates a pure instruction-fetch stream (no loads/stores):
+// the static-code workload Gilmont's engine targets — "this work only
+// addresses static code ciphering".
+func CodeOnly(cfg Config) *Trace {
+	cfg.LoadFraction = 0
+	cfg.WriteFraction = 0
+	t := Sequential(cfg)
+	t.Name = "code-only"
+	return t
+}
+
+// Streaming generates long unit-stride data scans (memcpy-like) with
+// sparse control: the friendliest case for prefetch and pipelined
+// deciphering.
+func Streaming(cfg Config) *Trace {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &Trace{Name: "streaming"}
+	pc := cfg.CodeBase
+	addr := cfg.DataBase
+	for len(t.Refs) < cfg.Refs {
+		t.Refs = append(t.Refs, Ref{Kind: Fetch, Addr: pc, Size: 4, Compute: computeGap(rng, cfg.ComputeMean)})
+		pc += 4
+		if pc >= cfg.CodeBase+4096 { // a tight copy loop
+			pc = cfg.CodeBase
+		}
+		if len(t.Refs) < cfg.Refs {
+			k := Load
+			if rng.Float64() < cfg.WriteFraction {
+				k = Store
+			}
+			t.Refs = append(t.Refs, Ref{Kind: k, Addr: addr, Size: 4, Compute: 0})
+			addr += 4
+			if addr >= cfg.DataBase+cfg.DataSize {
+				addr = cfg.DataBase
+			}
+		}
+	}
+	t.Refs = t.Refs[:cfg.Refs]
+	return t
+}
+
+// PointerChase generates dependent random loads (linked-list traversal):
+// the workload with no latency-hiding opportunity, worst case for any
+// deciphering latency on the miss path.
+func PointerChase(cfg Config) *Trace {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &Trace{Name: "pointer-chase"}
+	pc := cfg.CodeBase
+	for len(t.Refs) < cfg.Refs {
+		t.Refs = append(t.Refs, Ref{Kind: Fetch, Addr: pc, Size: 4, Compute: computeGap(rng, cfg.ComputeMean)})
+		pc += 4
+		if pc >= cfg.CodeBase+256 {
+			pc = cfg.CodeBase
+		}
+		if len(t.Refs) < cfg.Refs {
+			addr := cfg.DataBase + uint64(rng.Int63n(int64(cfg.DataSize)))&^7
+			t.Refs = append(t.Refs, Ref{Kind: Load, Addr: addr, Size: 8, Compute: 0})
+		}
+	}
+	t.Refs = t.Refs[:cfg.Refs]
+	return t
+}
+
+// MatrixLike generates blocked row/column sweeps over a square matrix
+// region: moderate locality, balanced loads and stores — the numeric
+// kernel stand-in.
+func MatrixLike(cfg Config) *Trace {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &Trace{Name: "matrix-like"}
+	const dim = 256 // 256x256 of 8-byte elements
+	row, col := 0, 0
+	pc := cfg.CodeBase
+	for len(t.Refs) < cfg.Refs {
+		t.Refs = append(t.Refs, Ref{Kind: Fetch, Addr: pc, Size: 4, Compute: computeGap(rng, cfg.ComputeMean)})
+		pc += 4
+		if pc >= cfg.CodeBase+2048 {
+			pc = cfg.CodeBase
+		}
+		if len(t.Refs) >= cfg.Refs {
+			break
+		}
+		// A[row][col] load, B[col][row] load, C[row][col] store pattern.
+		a := cfg.DataBase + uint64(row*dim+col)*8
+		b := cfg.DataBase + uint64(dim*dim)*8 + uint64(col*dim+row)*8
+		cAddr := cfg.DataBase + 2*uint64(dim*dim)*8 + uint64(row*dim+col)*8
+		t.Refs = append(t.Refs, Ref{Kind: Load, Addr: a, Size: 8})
+		if len(t.Refs) < cfg.Refs {
+			t.Refs = append(t.Refs, Ref{Kind: Load, Addr: b, Size: 8})
+		}
+		if len(t.Refs) < cfg.Refs {
+			t.Refs = append(t.Refs, Ref{Kind: Store, Addr: cAddr, Size: 8})
+		}
+		col++
+		if col == dim {
+			col = 0
+			row = (row + 1) % dim
+		}
+	}
+	t.Refs = t.Refs[:cfg.Refs]
+	return t
+}
+
+// computeGap draws a small geometric-ish compute gap around mean.
+func computeGap(rng *rand.Rand, mean int) uint16 {
+	if mean <= 0 {
+		return 0
+	}
+	g := rng.Intn(2*mean + 1)
+	return uint16(g)
+}
+
+// Generators is the registry of named workloads the experiment harness
+// sweeps; the map value builds a trace from a config.
+var Generators = map[string]func(Config) *Trace{
+	"sequential":    Sequential,
+	"code-only":     CodeOnly,
+	"streaming":     Streaming,
+	"pointer-chase": PointerChase,
+	"matrix-like":   MatrixLike,
+}
+
+// MultiProcess generates a round-robin multitasking workload: Procs
+// processes, each confined to its own code and data regions, scheduled
+// in quanta of Quantum references. It drives the key-management
+// extension (multikey EDU): every quantum boundary is a protection-
+// domain switch on the bus.
+type MultiProcessConfig struct {
+	// Config supplies the per-process knobs (jump rate, write fraction,
+	// locality, compute gaps); region fields are ignored.
+	Config
+	// Procs is the process count (>= 1; default 4).
+	Procs int
+	// Quantum is references per scheduling slice (default 500).
+	Quantum int
+	// RegionBytes is each process's code and data region size
+	// (default 256 KiB each).
+	RegionBytes uint64
+}
+
+// ProcessRegion returns process p's code region [base, limit) under cfg;
+// its data region follows immediately after. The multikey experiments
+// use it to wire protection domains that match the generator.
+func (c MultiProcessConfig) ProcessRegion(p int) (base, limit uint64) {
+	c.fillMP()
+	base = uint64(p) * 2 * c.RegionBytes
+	return base, base + 2*c.RegionBytes
+}
+
+func (c *MultiProcessConfig) fillMP() {
+	if c.Procs == 0 {
+		c.Procs = 4
+	}
+	if c.Quantum == 0 {
+		c.Quantum = 500
+	}
+	if c.RegionBytes == 0 {
+		c.RegionBytes = 256 << 10
+	}
+}
+
+// MultiProcess builds the workload.
+func MultiProcess(cfg MultiProcessConfig) *Trace {
+	cfg.fillMP()
+	cfg.Config.fill()
+	out := &Trace{Name: "multi-process"}
+	// One generator per process, advanced a quantum at a time. Each is
+	// its own Sequential stream confined to the process's regions.
+	streams := make([][]Ref, cfg.Procs)
+	for p := 0; p < cfg.Procs; p++ {
+		sub := cfg.Config
+		base, _ := cfg.ProcessRegion(p)
+		sub.CodeBase, sub.CodeSize = base, cfg.RegionBytes
+		sub.DataBase, sub.DataSize = base+cfg.RegionBytes, cfg.RegionBytes
+		sub.Seed = cfg.Seed + int64(p)*7919
+		sub.Refs = cfg.Refs // oversize; sliced per quantum below
+		streams[p] = Sequential(sub).Refs
+	}
+	cursor := make([]int, cfg.Procs)
+	p := 0
+	for len(out.Refs) < cfg.Refs {
+		take := cfg.Quantum
+		if remain := cfg.Refs - len(out.Refs); take > remain {
+			take = remain
+		}
+		cur := cursor[p]
+		end := cur + take
+		if end > len(streams[p]) {
+			end = len(streams[p])
+		}
+		out.Refs = append(out.Refs, streams[p][cur:end]...)
+		cursor[p] = end
+		p = (p + 1) % cfg.Procs
+	}
+	out.Refs = out.Refs[:cfg.Refs]
+	return out
+}
