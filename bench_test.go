@@ -1,18 +1,21 @@
 // Package repro's root bench file regenerates every quantitative claim
-// of the survey (DESIGN.md's experiment index E1–E16): run
+// of the survey (DESIGN.md's experiment index E1–E19): run
 //
 //	go test -bench=. -benchmem
 //
-// Each BenchmarkE* executes its experiment once per iteration and, on
-// the first iteration, prints the regenerated table so the bench log
-// doubles as the paper-vs-measured record that EXPERIMENTS.md cites.
+// Each BenchmarkE* submits its experiment through the campaign
+// scheduler (internal/campaign) and, on the first iteration, prints the
+// regenerated table so the bench log doubles as the paper-vs-measured
+// record that EXPERIMENTS.md cites. BenchmarkSuite* run the whole suite
+// and the grid sweep at -jobs 1 vs one-per-CPU, so the bench log also
+// records the parallel speedup.
 package repro
 
 import (
 	"sync"
 	"testing"
 
-	"repro/internal/core"
+	"repro/internal/campaign"
 )
 
 // benchRefs keeps each simulation short enough for -bench=. to complete
@@ -21,92 +24,65 @@ const benchRefs = 30000
 
 var printOnce sync.Map
 
-// runExperiment executes exp b.N times, printing its table once.
-func runExperiment(b *testing.B, id string, exp func() (*core.Table, error)) {
+// runExperiment submits experiment id to the campaign scheduler b.N
+// times, printing its table once.
+func runExperiment(b *testing.B, id string, refs int) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		tbl, err := exp()
+		tables, err := campaign.RunSuite([]string{id}, refs, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if _, done := printOnce.LoadOrStore(id, true); !done {
-			b.Log("\n" + tbl.String())
+			b.Log("\n" + tables[0].String())
 		}
 	}
 }
 
-func BenchmarkE1SurveyTable(b *testing.B) {
-	runExperiment(b, "E1", func() (*core.Table, error) { return core.E1SurveyTable(benchRefs) })
+func BenchmarkE1SurveyTable(b *testing.B)          { runExperiment(b, "E1", benchRefs) }
+func BenchmarkE2StreamVsBlock(b *testing.B)        { runExperiment(b, "E2", benchRefs) }
+func BenchmarkE3WritePenalty(b *testing.B)         { runExperiment(b, "E3", benchRefs) }
+func BenchmarkE4ECBLeakage(b *testing.B)           { runExperiment(b, "E4", benchRefs) }
+func BenchmarkE5CBCRandomAccess(b *testing.B)      { runExperiment(b, "E5", benchRefs) }
+func BenchmarkE6Aegis(b *testing.B)                { runExperiment(b, "E6", benchRefs) }
+func BenchmarkE7XomPipeline(b *testing.B)          { runExperiment(b, "E7", benchRefs) }
+func BenchmarkE8Gilmont(b *testing.B)              { runExperiment(b, "E8", 60000) }
+func BenchmarkE9KuhnAttack(b *testing.B)           { runExperiment(b, "E9", benchRefs) }
+func BenchmarkE10CodePack(b *testing.B)            { runExperiment(b, "E10", benchRefs) }
+func BenchmarkE11CacheSideEDU(b *testing.B)        { runExperiment(b, "E11", benchRefs) }
+func BenchmarkE12CompressThenEncrypt(b *testing.B) { runExperiment(b, "E12", benchRefs) }
+func BenchmarkE13BruteForce(b *testing.B)          { runExperiment(b, "E13", benchRefs) }
+func BenchmarkE14KeyExchange(b *testing.B)         { runExperiment(b, "E14", benchRefs) }
+func BenchmarkE15BestCipher(b *testing.B)          { runExperiment(b, "E15", benchRefs) }
+func BenchmarkE16VlsiDma(b *testing.B)             { runExperiment(b, "E16", benchRefs) }
+func BenchmarkE17Integrity(b *testing.B)           { runExperiment(b, "E17", benchRefs) }
+func BenchmarkE18Ablations(b *testing.B)           { runExperiment(b, "E18", benchRefs) }
+func BenchmarkE19KeyManagement(b *testing.B)       { runExperiment(b, "E19", benchRefs) }
+
+// suiteBench runs the full E1–E19 suite at a fixed worker count; the
+// Sequential/Parallel pair measures the scheduler's wall-clock win.
+func suiteBench(b *testing.B, jobs int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.RunSuite(nil, 10000, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
-func BenchmarkE2StreamVsBlock(b *testing.B) {
-	runExperiment(b, "E2", func() (*core.Table, error) { return core.E2StreamVsBlock(benchRefs) })
+func BenchmarkSuiteSequential(b *testing.B) { suiteBench(b, 1) }
+func BenchmarkSuiteParallel(b *testing.B)   { suiteBench(b, campaign.DefaultJobs()) }
+
+// sweepBench runs a full-registry grid sweep at a fixed worker count.
+func sweepBench(b *testing.B, jobs int) {
+	b.Helper()
+	spec := campaign.Spec{Refs: []int{10000}}
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.Sweep(spec, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
-func BenchmarkE3WritePenalty(b *testing.B) {
-	runExperiment(b, "E3", func() (*core.Table, error) { return core.E3WritePenalty(benchRefs) })
-}
-
-func BenchmarkE4ECBLeakage(b *testing.B) {
-	runExperiment(b, "E4", core.E4ECBLeakage)
-}
-
-func BenchmarkE5CBCRandomAccess(b *testing.B) {
-	runExperiment(b, "E5", func() (*core.Table, error) { return core.E5CBCRandomAccess(benchRefs) })
-}
-
-func BenchmarkE6Aegis(b *testing.B) {
-	runExperiment(b, "E6", func() (*core.Table, error) { return core.E6Aegis(benchRefs) })
-}
-
-func BenchmarkE7XomPipeline(b *testing.B) {
-	runExperiment(b, "E7", func() (*core.Table, error) { return core.E7XomPipeline(benchRefs) })
-}
-
-func BenchmarkE8Gilmont(b *testing.B) {
-	runExperiment(b, "E8", func() (*core.Table, error) { return core.E8Gilmont(60000) })
-}
-
-func BenchmarkE9KuhnAttack(b *testing.B) {
-	runExperiment(b, "E9", core.E9Kuhn)
-}
-
-func BenchmarkE10CodePack(b *testing.B) {
-	runExperiment(b, "E10", func() (*core.Table, error) { return core.E10CodePack(benchRefs) })
-}
-
-func BenchmarkE11CacheSideEDU(b *testing.B) {
-	runExperiment(b, "E11", func() (*core.Table, error) { return core.E11CacheSide(benchRefs) })
-}
-
-func BenchmarkE12CompressThenEncrypt(b *testing.B) {
-	runExperiment(b, "E12", func() (*core.Table, error) { return core.E12CompressThenEncrypt(benchRefs) })
-}
-
-func BenchmarkE13BruteForce(b *testing.B) {
-	runExperiment(b, "E13", core.E13BruteForce)
-}
-
-func BenchmarkE14KeyExchange(b *testing.B) {
-	runExperiment(b, "E14", core.E14KeyExchange)
-}
-
-func BenchmarkE15BestCipher(b *testing.B) {
-	runExperiment(b, "E15", core.E15Best)
-}
-
-func BenchmarkE16VlsiDma(b *testing.B) {
-	runExperiment(b, "E16", func() (*core.Table, error) { return core.E16VlsiDma(benchRefs) })
-}
-
-func BenchmarkE17Integrity(b *testing.B) {
-	runExperiment(b, "E17", func() (*core.Table, error) { return core.E17Integrity(benchRefs) })
-}
-
-func BenchmarkE18Ablations(b *testing.B) {
-	runExperiment(b, "E18", func() (*core.Table, error) { return core.E18Ablations(benchRefs) })
-}
-
-func BenchmarkE19KeyManagement(b *testing.B) {
-	runExperiment(b, "E19", func() (*core.Table, error) { return core.E19KeyManagement(benchRefs) })
-}
+func BenchmarkSweepGridSequential(b *testing.B) { sweepBench(b, 1) }
+func BenchmarkSweepGridParallel(b *testing.B)   { sweepBench(b, campaign.DefaultJobs()) }

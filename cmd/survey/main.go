@@ -1,61 +1,37 @@
 // Command survey prints the full experiment suite (E1-E19): the
 // survey's comparison table, every quantitative claim reproduced on the
-// simulated SoC, and the extension experiments. Use -refs to trade
-// accuracy for speed and -only to run a single experiment.
+// simulated SoC, and the extension experiments. Experiments are
+// submitted through the campaign scheduler, so -jobs N runs them on N
+// workers (tables still print in suite order — each experiment is
+// deterministic in isolation). Use -refs to trade accuracy for speed
+// and -only to run a single experiment.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 )
 
 func main() {
 	refs := flag.Int("refs", core.DefaultRefs, "trace length per simulation")
 	only := flag.String("only", "", "run a single experiment by id (e.g. E6, e17)")
+	jobs := flag.Int("jobs", campaign.DefaultJobs(), "experiment scheduler worker count")
 	flag.Parse()
 
+	var ids []string
 	if *only != "" {
-		want := strings.ToUpper(strings.TrimSpace(*only))
-		runners := map[string]func() (*core.Table, error){
-			"E1":  func() (*core.Table, error) { return core.E1SurveyTable(*refs) },
-			"E2":  func() (*core.Table, error) { return core.E2StreamVsBlock(*refs) },
-			"E3":  func() (*core.Table, error) { return core.E3WritePenalty(*refs) },
-			"E4":  core.E4ECBLeakage,
-			"E5":  func() (*core.Table, error) { return core.E5CBCRandomAccess(*refs) },
-			"E6":  func() (*core.Table, error) { return core.E6Aegis(*refs) },
-			"E7":  func() (*core.Table, error) { return core.E7XomPipeline(*refs) },
-			"E8":  func() (*core.Table, error) { return core.E8Gilmont(*refs) },
-			"E9":  core.E9Kuhn,
-			"E10": func() (*core.Table, error) { return core.E10CodePack(*refs) },
-			"E11": func() (*core.Table, error) { return core.E11CacheSide(*refs) },
-			"E12": func() (*core.Table, error) { return core.E12CompressThenEncrypt(*refs) },
-			"E13": core.E13BruteForce,
-			"E14": core.E14KeyExchange,
-			"E15": core.E15Best,
-			"E16": func() (*core.Table, error) { return core.E16VlsiDma(*refs) },
-			"E17": func() (*core.Table, error) { return core.E17Integrity(*refs) },
-			"E18": func() (*core.Table, error) { return core.E18Ablations(*refs) },
-			"E19": func() (*core.Table, error) { return core.E19KeyManagement(*refs) },
-		}
-		run, ok := runners[want]
-		if !ok {
+		if _, ok := core.ExperimentByID(*only); !ok {
 			fmt.Fprintf(os.Stderr, "survey: unknown experiment %q (want E1..E19)\n", *only)
 			os.Exit(1)
 		}
-		tbl, err := run()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "survey:", err)
-			os.Exit(1)
-		}
-		fmt.Println(tbl)
-		return
+		ids = []string{*only}
 	}
 
-	tables, err := core.AllExperiments(*refs)
+	tables, err := campaign.RunSuite(ids, *refs, *jobs)
 	for _, t := range tables {
 		fmt.Println(t)
 	}

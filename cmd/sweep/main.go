@@ -1,0 +1,114 @@
+// Command sweep runs a batch experiment campaign: it expands a grid of
+// engines × workloads × cache geometries × bus widths × trace lengths,
+// simulates every point on a bounded worker pool, and emits per-point
+// results plus a ranked per-engine summary.
+//
+// Grid axes are comma-separated lists; empty axes take defaults (all
+// engines, all workloads, the reference geometry). Integer axes accept
+// K/M suffixes. Examples:
+//
+//	sweep -jobs 8
+//	sweep -engines aegis,xom,gi -workloads sequential,pointer-chase
+//	sweep -cache 4K,16K,64K -line 16,32,64 -refs 30000 -format csv
+//	sweep -suite -jobs 4            # run the E1-E19 suite instead
+//
+// Output is deterministic: a -jobs 8 run emits bytes identical to a
+// -jobs 1 run (per-task RNG sharding; see internal/campaign).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"slices"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+)
+
+func main() {
+	engines := flag.String("engines", "", "engine keys to sweep (default: all surveyed engines)")
+	workloads := flag.String("workloads", "", "workload names to sweep (default: all generators)")
+	refsList := flag.String("refs", "", fmt.Sprintf("trace lengths to sweep (default: %d)", core.DefaultRefs))
+	cacheSizes := flag.String("cache", "", "cache sizes in bytes, K/M suffixes ok (default: 16K)")
+	lineSizes := flag.String("line", "", "cache line sizes in bytes (default: 32)")
+	busWidths := flag.String("bus", "", "bus widths in bytes (default: 4)")
+	jobs := flag.Int("jobs", campaign.DefaultJobs(), "worker pool size")
+	format := flag.String("format", "table", "output format: table, csv or json")
+	suite := flag.Bool("suite", false, "run the E1-E19 experiment suite through the pool instead of a grid")
+	experiments := flag.String("experiments", "", "experiment ids for -suite, e.g. E1,E6,E17 (default: all)")
+	suiteRefs := flag.Int("suite-refs", core.DefaultRefs, "trace length for -suite experiments")
+	quiet := flag.Bool("q", false, "suppress the stderr progress line")
+	flag.Parse()
+
+	if *suite {
+		// Suite mode prints experiment tables: the grid axes and the
+		// structured emitters do not apply, and silently ignoring them
+		// would mislead scripted callers.
+		if *engines != "" || *workloads != "" || *refsList != "" ||
+			*cacheSizes != "" || *lineSizes != "" || *busWidths != "" {
+			fatal(fmt.Errorf("-suite ignores grid axes; drop -engines/-workloads/-refs/-cache/-line/-bus (use -experiments and -suite-refs)"))
+		}
+		if *format != "table" {
+			fatal(fmt.Errorf("-suite emits experiment tables only; -format %s is not supported", *format))
+		}
+		start := time.Now()
+		tables, err := campaign.RunSuite(campaign.ParseList(*experiments), *suiteRefs, *jobs)
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "sweep: %d experiments, jobs=%d, %s\n",
+				len(tables), *jobs, time.Since(start).Round(time.Millisecond))
+		}
+		return
+	}
+
+	spec := campaign.Spec{
+		Engines:   campaign.ParseList(*engines),
+		Workloads: campaign.ParseList(*workloads),
+	}
+	var err error
+	if spec.Refs, err = campaign.ParseIntList(*refsList); err != nil {
+		fatal(err)
+	}
+	if spec.CacheSizes, err = campaign.ParseIntList(*cacheSizes); err != nil {
+		fatal(err)
+	}
+	if spec.LineSizes, err = campaign.ParseIntList(*lineSizes); err != nil {
+		fatal(err)
+	}
+	if spec.BusWidths, err = campaign.ParseIntList(*busWidths); err != nil {
+		fatal(err)
+	}
+
+	if !slices.Contains(campaign.Formats, *format) {
+		fatal(fmt.Errorf("unknown format %q (want %s)", *format, strings.Join(campaign.Formats, ", ")))
+	}
+	runner, err := campaign.NewRunner(spec)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	rep := runner.Run(*jobs)
+	elapsed := time.Since(start)
+	if err := campaign.Emit(os.Stdout, rep, *format); err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "sweep: %d points, jobs=%d, baselines simulated=%d cached-hits=%d, %s\n",
+			len(rep.Results), *jobs, runner.BaselineRuns(), runner.BaselineHits(),
+			elapsed.Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+package campaign
+
+import "sort"
+
+// SummaryRow aggregates one engine's results across every grid point it
+// completed: the comparative view the survey's tables exist for.
+type SummaryRow struct {
+	Rank         int     `json:"rank"`
+	Engine       string  `json:"engine"`
+	EngineName   string  `json:"engine_name"`
+	Points       int     `json:"points"`
+	Failed       int     `json:"failed"`
+	Gates        int     `json:"gates"`
+	MeanOverhead float64 `json:"mean_overhead"`
+	MinOverhead  float64 `json:"min_overhead"`
+	MaxOverhead  float64 `json:"max_overhead"`
+	// WorstPoint is the grid point with the highest overhead, the cell
+	// a designer reading the summary drills into first.
+	WorstPoint string `json:"worst_point"`
+}
+
+// Summarize folds results into per-engine rows ranked by mean overhead
+// (ascending: cheapest protection first), ties broken by engine key so
+// the ranking is total and deterministic.
+func Summarize(results []Result) []SummaryRow {
+	byEngine := make(map[string]*SummaryRow)
+	var order []string
+	for _, res := range results {
+		row, ok := byEngine[res.Engine]
+		if !ok {
+			row = &SummaryRow{Engine: res.Engine, EngineName: res.EngineName}
+			byEngine[res.Engine] = row
+			order = append(order, res.Engine)
+		}
+		if res.Err != "" {
+			row.Failed++
+			continue
+		}
+		if row.EngineName == "" {
+			row.EngineName = res.EngineName
+		}
+		row.Gates = res.Gates
+		if row.Points == 0 || res.Overhead < row.MinOverhead {
+			row.MinOverhead = res.Overhead
+		}
+		if row.Points == 0 || res.Overhead > row.MaxOverhead {
+			row.MaxOverhead = res.Overhead
+			row.WorstPoint = res.PointKey()
+		}
+		// MeanOverhead accumulates the sum here; divided once below.
+		row.MeanOverhead += res.Overhead
+		row.Points++
+	}
+	rows := make([]SummaryRow, 0, len(order))
+	for _, key := range order {
+		row := *byEngine[key]
+		if row.Points > 0 {
+			row.MeanOverhead /= float64(row.Points)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		// Engines with no successful points rank last, not first — a
+		// zero mean from zero measurements is absence of data, not the
+		// cheapest design.
+		if (rows[i].Points == 0) != (rows[j].Points == 0) {
+			return rows[j].Points == 0
+		}
+		if rows[i].MeanOverhead != rows[j].MeanOverhead {
+			return rows[i].MeanOverhead < rows[j].MeanOverhead
+		}
+		return rows[i].Engine < rows[j].Engine
+	})
+	for i := range rows {
+		rows[i].Rank = i + 1
+	}
+	return rows
+}

@@ -1,0 +1,53 @@
+package campaign
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// memo is a concurrency-safe compute-once cache keyed by canonical
+// config strings. Concurrent requests for the same key block on one
+// computation (singleflight semantics) rather than duplicating work —
+// this is what lets eight engines at one grid point share a single
+// plaintext baseline simulation.
+type memo[T any] struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry[T]
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type memoEntry[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func newMemo[T any]() *memo[T] {
+	return &memo[T]{entries: make(map[string]*memoEntry[T])}
+}
+
+// get returns the cached value for key, computing it (exactly once
+// across all callers) if absent.
+func (m *memo[T]) get(key string, compute func() (T, error)) (T, error) {
+	m.mu.Lock()
+	e, ok := m.entries[key]
+	if !ok {
+		e = &memoEntry[T]{}
+		m.entries[key] = e
+	}
+	m.mu.Unlock()
+	if ok {
+		m.hits.Add(1)
+	} else {
+		m.misses.Add(1)
+	}
+	e.once.Do(func() { e.val, e.err = compute() })
+	return e.val, e.err
+}
+
+// Hits reports how many lookups were served from cache.
+func (m *memo[T]) Hits() int64 { return m.hits.Load() }
+
+// Misses reports how many lookups ran the computation.
+func (m *memo[T]) Misses() int64 { return m.misses.Load() }

@@ -1,0 +1,164 @@
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/edu"
+	"repro/internal/sim/soc"
+	"repro/internal/sim/trace"
+)
+
+// Result is one completed task: the grid point plus everything the
+// emitters report about it. Failed points carry Err and zero metrics —
+// a bad (engine, geometry) pairing fails that cell, not the sweep.
+type Result struct {
+	TaskConfig
+	EngineName   string  `json:"engine_name"`
+	Gates        int     `json:"gates"`
+	BaseCycles   uint64  `json:"base_cycles"`
+	Cycles       uint64  `json:"cycles"`
+	Overhead     float64 `json:"overhead"`
+	EngineStalls uint64  `json:"engine_stalls"`
+	RMWEvents    uint64  `json:"rmw_events"`
+	Err          string  `json:"err,omitempty"`
+}
+
+// Report is a finished campaign: results in expansion order plus the
+// ranked per-engine summary. It deliberately carries no timing or
+// worker-count fields — emitted bytes must be identical for any -jobs.
+type Report struct {
+	Spec    Spec         `json:"spec"`
+	Results []Result     `json:"results"`
+	Summary []SummaryRow `json:"summary"`
+}
+
+// Runner executes a campaign. Its caches persist across Run calls, so
+// re-running an overlapping grid on the same Runner resimulates nothing.
+type Runner struct {
+	spec      Spec
+	baselines *memo[soc.Report]
+	results   *memo[Result]
+}
+
+// NewRunner validates the spec and prepares an empty-cache runner.
+func NewRunner(spec Spec) (*Runner, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{
+		spec:      spec,
+		baselines: newMemo[soc.Report](),
+		results:   newMemo[Result](),
+	}, nil
+}
+
+// BaselineRuns reports how many plaintext baseline simulations actually
+// executed; BaselineHits how many were served from cache.
+func (r *Runner) BaselineRuns() int64 { return r.baselines.Misses() }
+
+// BaselineHits is the cache-served baseline lookup count.
+func (r *Runner) BaselineHits() int64 { return r.baselines.Hits() }
+
+// Run expands the grid and executes every task on `jobs` workers
+// (jobs <= 0 means one per CPU). The returned report is independent of
+// jobs: tasks are seeded from config hashes and slotted by index.
+func (r *Runner) Run(jobs int) *Report {
+	tasks := r.spec.Expand()
+	out := make([]Result, len(tasks))
+	forEach(jobs, len(tasks), func(i int) {
+		cfg := tasks[i].Cfg
+		res, _ := r.results.get(cfg.Key(), func() (Result, error) {
+			return r.runTask(cfg), nil
+		})
+		out[i] = res
+	})
+	return &Report{Spec: r.spec, Results: out, Summary: Summarize(out)}
+}
+
+// socConfig builds the system geometry for a grid point, starting from
+// the experiments' reference system.
+func socConfig(cfg TaskConfig) soc.Config {
+	sc := soc.DefaultConfig()
+	sc.Cache.Size = cfg.CacheSize
+	sc.Cache.LineSize = cfg.LineSize
+	sc.Bus.WidthBytes = cfg.BusWidth
+	return sc
+}
+
+// runTask measures one grid point: generate the point's trace from its
+// hash-derived seed, fetch (or compute once) the shared plaintext
+// baseline, then simulate the engine system on an identical trace.
+func (r *Runner) runTask(cfg TaskConfig) Result {
+	res := Result{TaskConfig: cfg}
+	fail := func(err error) Result {
+		res.Err = err.Error()
+		return res
+	}
+	entry, err := core.Entry(cfg.Engine)
+	if err != nil {
+		return fail(err)
+	}
+	res.EngineName = entry.Name
+	gen, ok := trace.Generators[cfg.Workload]
+	if !ok {
+		return fail(fmt.Errorf("campaign: unknown workload %q", cfg.Workload))
+	}
+	sc := socConfig(cfg)
+
+	// The baseline is engine-independent: memoized under the point key,
+	// so the first task at a grid point simulates it and every other
+	// engine there reuses the report.
+	base, err := r.baselines.get(cfg.PointKey(), func() (soc.Report, error) {
+		bcfg := sc
+		bcfg.Engine = edu.Null{}
+		s, err := soc.New(bcfg)
+		if err != nil {
+			return soc.Report{}, err
+		}
+		tcfg, err := workloadProfile(cfg.Workload, cfg.Refs, cfg.Seed())
+		if err != nil {
+			return soc.Report{}, err
+		}
+		return s.Run(gen(tcfg)), nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	eng, err := entry.Build()
+	if err != nil {
+		return fail(err)
+	}
+	ecfg := sc
+	ecfg.Engine = eng
+	s, err := soc.New(ecfg)
+	if err != nil {
+		return fail(err)
+	}
+	// Each task regenerates the point's trace from the same derived seed
+	// rather than sharing one across goroutines: generation is cheap
+	// relative to simulation and keeps tasks fully independent.
+	tcfg, err := workloadProfile(cfg.Workload, cfg.Refs, cfg.Seed())
+	if err != nil {
+		return fail(err)
+	}
+	with := s.Run(gen(tcfg))
+
+	res.Gates = eng.Gates()
+	res.BaseCycles = base.Cycles
+	res.Cycles = with.Cycles
+	res.Overhead = with.OverheadVs(base)
+	res.EngineStalls = with.EngineStalls
+	res.RMWEvents = with.RMWEvents
+	return res
+}
+
+// Sweep is the one-call convenience wrapper: validate, run, report.
+func Sweep(spec Spec, jobs int) (*Report, error) {
+	r, err := NewRunner(spec)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(jobs), nil
+}

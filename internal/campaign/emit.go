@@ -1,0 +1,114 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// Formats lists the supported emitter names for flag help and
+// validation.
+var Formats = []string{"table", "csv", "json"}
+
+// Emit writes the report to w in the named format.
+func Emit(w io.Writer, rep *Report, format string) error {
+	switch format {
+	case "json":
+		return EmitJSON(w, rep)
+	case "csv":
+		return EmitCSV(w, rep)
+	case "table":
+		return EmitTable(w, rep)
+	default:
+		return fmt.Errorf("campaign: unknown format %q (want table, csv or json)", format)
+	}
+}
+
+// EmitJSON writes the full structured report: spec, per-point results,
+// ranked summary.
+func EmitJSON(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// EmitCSV writes one row per grid point (the machine-joinable form) —
+// the summary is derivable, so CSV carries only the raw cells.
+func EmitCSV(w io.Writer, rep *Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"engine", "workload", "refs", "cache_size", "line_size", "bus_width",
+		"gates", "base_cycles", "cycles", "overhead", "engine_stalls", "rmw_events", "err",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		row := []string{
+			r.Engine, r.Workload, strconv.Itoa(r.Refs),
+			strconv.Itoa(r.CacheSize), strconv.Itoa(r.LineSize), strconv.Itoa(r.BusWidth),
+			strconv.Itoa(r.Gates),
+			strconv.FormatUint(r.BaseCycles, 10), strconv.FormatUint(r.Cycles, 10),
+			strconv.FormatFloat(r.Overhead, 'f', 6, 64),
+			strconv.FormatUint(r.EngineStalls, 10), strconv.FormatUint(r.RMWEvents, 10),
+			r.Err,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// EmitTable writes the human-readable form: the per-point grid followed
+// by the ranked summary, in the same aligned-table style as the
+// experiment suite.
+func EmitTable(w io.Writer, rep *Report) error {
+	grid := &core.Table{
+		ID:     "SWEEP",
+		Title:  fmt.Sprintf("campaign grid (%d points)", len(rep.Results)),
+		Header: []string{"engine", "workload", "refs", "cache", "line", "bus", "overhead", "rmw", "status"},
+	}
+	for _, r := range rep.Results {
+		status := "ok"
+		overhead := fmt.Sprintf("%.2f%%", 100*r.Overhead)
+		if r.Err != "" {
+			status = r.Err
+			overhead = "-"
+		}
+		grid.AddRow(r.Engine, r.Workload, r.Refs,
+			sizeCell(r.CacheSize), r.LineSize, r.BusWidth,
+			overhead, r.RMWEvents, status)
+	}
+	if _, err := fmt.Fprintln(w, grid); err != nil {
+		return err
+	}
+
+	sum := &core.Table{
+		ID:     "RANKING",
+		Title:  "engines ranked by mean overhead across the grid",
+		Header: []string{"rank", "engine", "gates", "mean", "min", "max", "worst point", "failed"},
+	}
+	for _, row := range rep.Summary {
+		sum.AddRow(row.Rank, row.EngineName, row.Gates,
+			fmt.Sprintf("%.2f%%", 100*row.MeanOverhead),
+			fmt.Sprintf("%.2f%%", 100*row.MinOverhead),
+			fmt.Sprintf("%.2f%%", 100*row.MaxOverhead),
+			row.WorstPoint, row.Failed)
+	}
+	_, err := fmt.Fprintln(w, sum)
+	return err
+}
+
+// sizeCell renders a byte count with a K suffix only when that is
+// exact; odd sizes print in full rather than truncating.
+func sizeCell(bytes int) string {
+	if bytes >= 1<<10 && bytes%(1<<10) == 0 {
+		return fmt.Sprintf("%dK", bytes>>10)
+	}
+	return fmt.Sprintf("%dB", bytes)
+}

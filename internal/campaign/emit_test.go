@@ -1,0 +1,76 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func tinyReport(t *testing.T) *Report {
+	t.Helper()
+	rep, err := Sweep(Spec{
+		Engines:   []string{"xom", "best"},
+		Workloads: []string{"streaming"},
+		Refs:      []int{1000},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestEmitJSONRoundTrips(t *testing.T) {
+	rep := tinyReport(t)
+	var buf bytes.Buffer
+	if err := EmitJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if len(back.Results) != len(rep.Results) || len(back.Summary) != len(rep.Summary) {
+		t.Errorf("round trip lost rows: %d/%d results, %d/%d summary",
+			len(back.Results), len(rep.Results), len(back.Summary), len(rep.Summary))
+	}
+	if back.Results[0].Overhead != rep.Results[0].Overhead {
+		t.Errorf("overhead mangled in round trip")
+	}
+}
+
+func TestEmitCSVShape(t *testing.T) {
+	rep := tinyReport(t)
+	var buf bytes.Buffer
+	if err := EmitCSV(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v", err)
+	}
+	if len(rows) != 1+len(rep.Results) {
+		t.Fatalf("got %d rows, want header + %d", len(rows), len(rep.Results))
+	}
+	if rows[0][0] != "engine" || rows[1][0] != "xom" {
+		t.Errorf("unexpected leading cells: %q, %q", rows[0][0], rows[1][0])
+	}
+}
+
+func TestEmitTableAndUnknownFormat(t *testing.T) {
+	rep := tinyReport(t)
+	var buf bytes.Buffer
+	if err := Emit(&buf, rep, "table"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"SWEEP", "RANKING", "xom", "streaming"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+	if err := Emit(&buf, rep, "yaml"); err == nil {
+		t.Error("unknown format should error")
+	}
+}

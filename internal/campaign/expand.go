@@ -1,0 +1,104 @@
+package campaign
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/core"
+	"repro/internal/sim/trace"
+)
+
+// TaskConfig is one grid point: the full configuration of a single
+// overhead measurement. It is a value type — two equal configs are the
+// same experiment and hash to the same key.
+type TaskConfig struct {
+	Engine    string `json:"engine"`
+	Workload  string `json:"workload"`
+	Refs      int    `json:"refs"`
+	CacheSize int    `json:"cache_size"`
+	LineSize  int    `json:"line_size"`
+	BusWidth  int    `json:"bus_width"`
+}
+
+// Key is the canonical string identity of the config; every cache key
+// and seed derivation goes through it so identity has one definition.
+func (c TaskConfig) Key() string {
+	return fmt.Sprintf("engine=%s %s", c.Engine, c.PointKey())
+}
+
+// PointKey identifies the engine-independent grid point: the workload,
+// trace length, and system geometry. All engines at one point share a
+// trace (seeded from this key) and a plaintext baseline (cached under
+// it), which is what makes baseline caching sound.
+func (c TaskConfig) PointKey() string {
+	return fmt.Sprintf("workload=%s refs=%d cache=%d line=%d bus=%d",
+		c.Workload, c.Refs, c.CacheSize, c.LineSize, c.BusWidth)
+}
+
+// Hash is a stable 64-bit FNV-1a hash of Key; it survives process
+// restarts (no map iteration, no pointer identity involved).
+func (c TaskConfig) Hash() uint64 { return hashString(c.Key()) }
+
+// Seed derives the task's trace seed from the engine-independent point
+// hash. Parallel and sequential sweeps hand each task this same seed,
+// so scheduling order cannot perturb a single generated reference.
+func (c TaskConfig) Seed() int64 {
+	return int64(hashString(c.PointKey()) & (1<<63 - 1))
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Task is one unit of campaign work: a grid point plus its position in
+// the expansion order (which fixes its slot in the result table).
+type Task struct {
+	Index int
+	Cfg   TaskConfig
+}
+
+// Expand enumerates the grid in a fixed nesting order (engine outermost,
+// bus width innermost). The order is part of the determinism contract:
+// results are reported in expansion order regardless of which worker
+// finishes first.
+func (s *Spec) Expand() []Task {
+	s.Fill()
+	tasks := make([]Task, 0, s.Size())
+	for _, eng := range s.Engines {
+		for _, wl := range s.Workloads {
+			for _, refs := range s.Refs {
+				for _, cs := range s.CacheSizes {
+					for _, ls := range s.LineSizes {
+						for _, bw := range s.BusWidths {
+							tasks = append(tasks, Task{
+								Index: len(tasks),
+								Cfg: TaskConfig{
+									Engine: eng, Workload: wl, Refs: refs,
+									CacheSize: cs, LineSize: ls, BusWidth: bw,
+								},
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return tasks
+}
+
+// workloadProfile fetches the shared knob settings for the named
+// workload (core.WorkloadProfile, the same table the E-suite uses) and
+// threads the task's derived seed through an explicit *rand.Rand — the
+// per-task RNG shard. A generator registered in trace.Generators but
+// missing from the profile table is an error, not a silent zero-knob
+// sweep: the two registries must move together.
+func workloadProfile(name string, refs int, seed int64) (trace.Config, error) {
+	cfg, ok := core.WorkloadProfile(name, refs)
+	if !ok {
+		return trace.Config{}, fmt.Errorf("campaign: workload %q has no knob profile (core.WorkloadProfile)", name)
+	}
+	cfg.Rand = trace.NewRand(seed)
+	return cfg, nil
+}

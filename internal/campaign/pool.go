@@ -1,0 +1,47 @@
+package campaign
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultJobs is the worker count used when the caller passes jobs <= 0:
+// one worker per available CPU.
+func DefaultJobs() int { return runtime.GOMAXPROCS(0) }
+
+// forEach runs fn(i) for i in [0, n) on a bounded pool of `jobs`
+// goroutines pulling indices from a shared atomic counter. It is the
+// campaign's only scheduling primitive: callers write results into
+// index i's slot, so the output is independent of completion order and
+// a jobs=1 run is byte-identical to a jobs=N run.
+func forEach(jobs, n int, fn func(i int)) {
+	if jobs <= 0 {
+		jobs = DefaultJobs()
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

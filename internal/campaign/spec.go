@@ -1,0 +1,159 @@
+// Package campaign is the batch experiment-sweep engine: it expands a
+// declarative grid spec (engines × workloads × cache geometries × bus
+// widths × trace lengths) into tasks, runs them on a bounded worker
+// pool with deterministic per-task RNG sharding, caches shared
+// plaintext baselines so each (geometry, workload) point is simulated
+// once rather than once per engine, and aggregates the results into
+// ranked summaries with JSON/CSV/table emitters.
+//
+// Determinism is the subsystem's contract: every task derives its trace
+// seed from a stable hash of its configuration (excluding the engine,
+// so all engines at one grid point share a trace and a baseline), and
+// results are slotted by task index, so a `-jobs 8` sweep emits bytes
+// identical to a `-jobs 1` sweep.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim/trace"
+)
+
+// Spec is the declarative grid: the cross product of every non-empty
+// axis is the campaign's task list. Zero-value axes get defaults from
+// (*Spec).Fill.
+type Spec struct {
+	// Engines are survey registry keys (core.Entry); default all.
+	Engines []string `json:"engines"`
+	// Workloads are trace generator names (trace.Generators); default
+	// the standard five-workload set.
+	Workloads []string `json:"workloads"`
+	// Refs are trace lengths to sweep; default {core.DefaultRefs}.
+	Refs []int `json:"refs"`
+	// CacheSizes are cache capacities in bytes; default {16 KiB}.
+	CacheSizes []int `json:"cache_sizes"`
+	// LineSizes are cache line sizes in bytes; default {32}.
+	LineSizes []int `json:"line_sizes"`
+	// BusWidths are external bus widths in bytes; default {4}.
+	BusWidths []int `json:"bus_widths"`
+}
+
+// Fill applies defaults to empty axes.
+func (s *Spec) Fill() {
+	if len(s.Engines) == 0 {
+		for _, e := range core.Survey() {
+			s.Engines = append(s.Engines, e.Key)
+		}
+	}
+	if len(s.Workloads) == 0 {
+		s.Workloads = WorkloadNames()
+	}
+	if len(s.Refs) == 0 {
+		s.Refs = []int{core.DefaultRefs}
+	}
+	if len(s.CacheSizes) == 0 {
+		s.CacheSizes = []int{16 << 10}
+	}
+	if len(s.LineSizes) == 0 {
+		s.LineSizes = []int{32}
+	}
+	if len(s.BusWidths) == 0 {
+		s.BusWidths = []int{4}
+	}
+}
+
+// Validate checks every axis value against its registry before any
+// simulation runs, so a typo fails the whole sweep immediately.
+func (s *Spec) Validate() error {
+	s.Fill()
+	for _, key := range s.Engines {
+		if _, err := core.Entry(key); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+	}
+	for _, w := range s.Workloads {
+		if _, ok := trace.Generators[w]; !ok {
+			return fmt.Errorf("campaign: unknown workload %q (known: %s)",
+				w, strings.Join(WorkloadNames(), ", "))
+		}
+	}
+	for _, r := range s.Refs {
+		if r <= 0 {
+			return fmt.Errorf("campaign: non-positive refs %d", r)
+		}
+	}
+	for _, v := range s.CacheSizes {
+		if v <= 0 {
+			return fmt.Errorf("campaign: non-positive cache size %d", v)
+		}
+	}
+	for _, v := range s.LineSizes {
+		if v <= 0 {
+			return fmt.Errorf("campaign: non-positive line size %d", v)
+		}
+	}
+	for _, v := range s.BusWidths {
+		if v <= 0 {
+			return fmt.Errorf("campaign: non-positive bus width %d", v)
+		}
+	}
+	return nil
+}
+
+// Size returns the number of tasks the grid expands to.
+func (s *Spec) Size() int {
+	s.Fill()
+	return len(s.Engines) * len(s.Workloads) * len(s.Refs) *
+		len(s.CacheSizes) * len(s.LineSizes) * len(s.BusWidths)
+}
+
+// WorkloadNames lists the sweepable workloads in stable order.
+func WorkloadNames() []string {
+	names := make([]string, 0, len(trace.Generators))
+	for n := range trace.Generators {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseList splits a comma-separated flag value into trimmed non-empty
+// items; empty input returns nil (axis default applies).
+func ParseList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ParseIntList is ParseList for integer axes; it accepts size suffixes
+// K and M (binary) so cache grids read naturally: "4K,16K,64K".
+func ParseIntList(s string) ([]int, error) {
+	var out []int
+	for _, item := range ParseList(s) {
+		mult := 1
+		upper := strings.ToUpper(item)
+		switch {
+		case strings.HasSuffix(upper, "K"):
+			mult, item = 1<<10, item[:len(item)-1]
+		case strings.HasSuffix(upper, "M"):
+			mult, item = 1<<20, item[:len(item)-1]
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(item))
+		if err != nil {
+			return nil, fmt.Errorf("campaign: bad integer %q in list", item)
+		}
+		out = append(out, n*mult)
+	}
+	return out, nil
+}

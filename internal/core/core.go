@@ -157,16 +157,40 @@ func MustEntry(key string) SurveyEntry {
 	return e
 }
 
+// WorkloadProfile returns the standard knob settings for the named
+// workload — the single definition both the experiment suite and the
+// campaign sweeps draw from, so a workload name measures the same
+// reference mix everywhere. The caller supplies the RNG (Seed or Rand).
+func WorkloadProfile(name string, refs int) (trace.Config, bool) {
+	cfg := trace.Config{Refs: refs}
+	switch name {
+	case "sequential":
+		cfg.LoadFraction, cfg.WriteFraction, cfg.JumpRate, cfg.Locality = 0.35, 0.3, 0.03, 0.7
+	case "code-only":
+		cfg.JumpRate = 0.02
+	case "streaming":
+		cfg.WriteFraction = 0.3
+	case "pointer-chase":
+		cfg.DataSize = 8 << 20
+	case "matrix-like":
+		// generator defaults
+	default:
+		return trace.Config{}, false
+	}
+	return cfg, true
+}
+
 // Workloads returns the standard workload set used by the comparative
 // experiments, sized to refs references each.
 func Workloads(refs int) []*trace.Trace {
-	return []*trace.Trace{
-		trace.Sequential(trace.Config{Refs: refs, Seed: 11, LoadFraction: 0.35, WriteFraction: 0.3, JumpRate: 0.03, Locality: 0.7}),
-		trace.CodeOnly(trace.Config{Refs: refs, Seed: 12, JumpRate: 0.02}),
-		trace.Streaming(trace.Config{Refs: refs, Seed: 13, WriteFraction: 0.3}),
-		trace.PointerChase(trace.Config{Refs: refs, Seed: 14, DataSize: 8 << 20}),
-		trace.MatrixLike(trace.Config{Refs: refs, Seed: 15}),
+	names := []string{"sequential", "code-only", "streaming", "pointer-chase", "matrix-like"}
+	out := make([]*trace.Trace, len(names))
+	for i, name := range names {
+		cfg, _ := WorkloadProfile(name, refs)
+		cfg.Seed = int64(11 + i)
+		out[i] = trace.Generators[name](cfg)
 	}
+	return out
 }
 
 // MeasureOverhead runs eng against the baseline on tr with the standard

@@ -856,37 +856,3 @@ func E16VlsiDma(refs int) (*Table, error) {
 		"the DMA is OS-controlled: the scheme's security is conditional on a trusted OS")
 	return t, nil
 }
-
-// AllExperiments runs the full suite in order.
-func AllExperiments(refs int) ([]*Table, error) {
-	var out []*Table
-	steps := []func() (*Table, error){
-		func() (*Table, error) { return E1SurveyTable(refs) },
-		func() (*Table, error) { return E2StreamVsBlock(refs) },
-		func() (*Table, error) { return E3WritePenalty(refs) },
-		E4ECBLeakage,
-		func() (*Table, error) { return E5CBCRandomAccess(refs) },
-		func() (*Table, error) { return E6Aegis(refs) },
-		func() (*Table, error) { return E7XomPipeline(refs) },
-		func() (*Table, error) { return E8Gilmont(refs) },
-		E9Kuhn,
-		func() (*Table, error) { return E10CodePack(refs) },
-		func() (*Table, error) { return E11CacheSide(refs) },
-		func() (*Table, error) { return E12CompressThenEncrypt(refs) },
-		E13BruteForce,
-		E14KeyExchange,
-		E15Best,
-		func() (*Table, error) { return E16VlsiDma(refs) },
-		func() (*Table, error) { return E17Integrity(refs) },
-		func() (*Table, error) { return E18Ablations(refs) },
-		func() (*Table, error) { return E19KeyManagement(refs) },
-	}
-	for _, step := range steps {
-		tbl, err := step()
-		if err != nil {
-			return out, err
-		}
-		out = append(out, tbl)
-	}
-	return out, nil
-}

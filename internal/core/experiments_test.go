@@ -348,13 +348,17 @@ func TestE16PageLocalityShape(t *testing.T) {
 	}
 }
 
-func TestAllExperimentsRun(t *testing.T) {
+func TestFullSuiteRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full suite in -short mode")
 	}
-	tables, err := AllExperiments(10000)
-	if err != nil {
-		t.Fatal(err)
+	var tables []*Table
+	for _, exp := range Experiments() {
+		tbl, err := exp.Run(10000)
+		if err != nil {
+			t.Fatalf("%s: %v", exp.ID, err)
+		}
+		tables = append(tables, tbl)
 	}
 	if len(tables) != 19 {
 		t.Fatalf("%d tables, want 19", len(tables))

@@ -96,8 +96,17 @@ func (s Stats) WriteFraction() float64 {
 type Config struct {
 	// Refs is the number of references to generate.
 	Refs int
-	// Seed drives the internal PRNG; equal configs produce equal traces.
+	// Seed drives the generator's PRNG; equal configs produce equal
+	// traces. Ignored when Rand is set.
 	Seed int64
+	// Rand, when non-nil, is the explicit random source driving the
+	// generator and takes precedence over Seed. Every generator draws
+	// exclusively from this source (there is no package-global RNG), so
+	// callers that need deterministic parallel sharding hand each task
+	// its own *rand.Rand and get byte-identical traces regardless of
+	// scheduling. The source is consumed: do not share one *rand.Rand
+	// across concurrent generator calls.
+	Rand *rand.Rand
 	// CodeBase/CodeSize bound the instruction region (bytes).
 	CodeBase, CodeSize uint64
 	// DataBase/DataSize bound the data region (bytes).
@@ -132,11 +141,26 @@ func (c *Config) fill() {
 	}
 }
 
+// NewRand returns a deterministic source for seed, the one every
+// generator uses internally when Config.Rand is nil.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// rng resolves the generator's random source: the explicit Rand if the
+// caller threaded one through, else a fresh Seed-derived source.
+func (c *Config) rng() *rand.Rand {
+	if c.Rand != nil {
+		return c.Rand
+	}
+	return NewRand(c.Seed)
+}
+
 // Sequential generates straight-line code with occasional jumps and a
 // configurable mix of data accesses; the general-purpose workload.
 func Sequential(cfg Config) *Trace {
 	cfg.fill()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.rng()
 	t := &Trace{Name: "sequential"}
 	pc := cfg.CodeBase
 	recent := make([]uint64, 0, 64)
@@ -194,7 +218,7 @@ func CodeOnly(cfg Config) *Trace {
 // deciphering.
 func Streaming(cfg Config) *Trace {
 	cfg.fill()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.rng()
 	t := &Trace{Name: "streaming"}
 	pc := cfg.CodeBase
 	addr := cfg.DataBase
@@ -225,7 +249,7 @@ func Streaming(cfg Config) *Trace {
 // deciphering latency on the miss path.
 func PointerChase(cfg Config) *Trace {
 	cfg.fill()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.rng()
 	t := &Trace{Name: "pointer-chase"}
 	pc := cfg.CodeBase
 	for len(t.Refs) < cfg.Refs {
@@ -248,7 +272,7 @@ func PointerChase(cfg Config) *Trace {
 // kernel stand-in.
 func MatrixLike(cfg Config) *Trace {
 	cfg.fill()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.rng()
 	t := &Trace{Name: "matrix-like"}
 	const dim = 256 // 256x256 of 8-byte elements
 	row, col := 0, 0
@@ -354,7 +378,14 @@ func MultiProcess(cfg MultiProcessConfig) *Trace {
 		base, _ := cfg.ProcessRegion(p)
 		sub.CodeBase, sub.CodeSize = base, cfg.RegionBytes
 		sub.DataBase, sub.DataSize = base+cfg.RegionBytes, cfg.RegionBytes
-		sub.Seed = cfg.Seed + int64(p)*7919
+		// Each process gets its own independent source: seed-derived by
+		// default, or drawn from the caller's explicit Rand so the whole
+		// workload is a function of that one source.
+		if cfg.Rand != nil {
+			sub.Rand = NewRand(cfg.Rand.Int63())
+		} else {
+			sub.Seed = cfg.Seed + int64(p)*7919
+		}
 		sub.Refs = cfg.Refs // oversize; sliced per quantum below
 		streams[p] = Sequential(sub).Refs
 	}
