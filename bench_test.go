@@ -16,6 +16,9 @@ import (
 	"testing"
 
 	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/sim/soc"
+	"repro/internal/sim/trace"
 )
 
 // benchRefs keeps each simulation short enough for -bench=. to complete
@@ -86,3 +89,33 @@ func sweepBench(b *testing.B, jobs int) {
 
 func BenchmarkSweepGridSequential(b *testing.B) { sweepBench(b, 1) }
 func BenchmarkSweepGridParallel(b *testing.B)   { sweepBench(b, campaign.DefaultJobs()) }
+
+// hotLoopBench drives one SoC with a streaming source of exactly b.N
+// references, so ns/op is nanoseconds per reference and allocs/op is
+// allocations per reference — the number the allocation-free hot path
+// pins at 0 (see soc.TestHotLoopZeroAllocs for the hard assertion).
+func hotLoopBench(b *testing.B, engineKey string) {
+	b.Helper()
+	cfg := soc.DefaultConfig()
+	if engineKey != "" {
+		eng, err := core.MustEntry(engineKey).Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Engine = eng
+	}
+	s, err := soc.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := trace.SequentialSource(trace.Config{
+		Refs: b.N, Seed: 1,
+		LoadFraction: 0.35, WriteFraction: 0.3, JumpRate: 0.03, Locality: 0.7,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run(src)
+}
+
+func BenchmarkHotLoopPlaintext(b *testing.B) { hotLoopBench(b, "") }
+func BenchmarkHotLoopAegis(b *testing.B)     { hotLoopBench(b, "aegis") }

@@ -1,6 +1,8 @@
 // Command bussim runs one bus-encryption configuration against one
 // workload on the simulated SoC and reports the cycle accounting
-// against the plaintext baseline.
+// against the plaintext baseline. The workload is consumed as a stream:
+// references are generated on the fly, so memory stays constant however
+// long the trace — -refs 100000000 is bounded by time, not RAM.
 //
 //	bussim -engine aegis -workload pointer-chase -refs 100000
 //	bussim -engine gilmont -workload code-only -jump 0.02 -codesize 8192
@@ -40,7 +42,7 @@ func main() {
 		}
 		fmt.Println("workloads:")
 		var names []string
-		for n := range trace.Generators {
+		for n := range trace.Sources {
 			names = append(names, n)
 		}
 		sort.Strings(names)
@@ -50,12 +52,12 @@ func main() {
 		return
 	}
 
-	gen, ok := trace.Generators[*workload]
+	mkSource, ok := trace.Sources[*workload]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "bussim: unknown workload %q (try -list)\n", *workload)
 		os.Exit(1)
 	}
-	tr := gen(trace.Config{
+	src := mkSource(trace.Config{
 		Refs: *refs, Seed: *seed, JumpRate: *jump,
 		WriteFraction: *writes, LoadFraction: *loads, Locality: *locality,
 		CodeSize: *codeSize,
@@ -72,7 +74,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	base, with, err := soc.Compare(soc.DefaultConfig(), eng, tr)
+	base, with, err := soc.Compare(soc.DefaultConfig(), eng, src)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bussim:", err)
 		os.Exit(1)
@@ -80,14 +82,14 @@ func main() {
 
 	fmt.Printf("engine     : %s (%s, %s)\n", entry.Name, entry.Cipher, entry.ModeDesc)
 	fmt.Printf("area       : %d gate equivalents\n", eng.Gates())
-	fmt.Printf("workload   : %s (%d refs, %d instructions)\n", tr.Name, with.Refs, with.Instructions)
+	fmt.Printf("workload   : %s (%d refs, %d instructions)\n", src.Label(), with.Refs, with.Instructions)
 	fmt.Printf("baseline   : %d cycles (CPI %.2f)\n", base.Cycles, base.CPI())
 	fmt.Printf("with engine: %d cycles (CPI %.2f)\n", with.Cycles, with.CPI())
 	fmt.Printf("overhead   : %.2f%%\n", 100*with.OverheadVs(base))
 	fmt.Printf("engine stalls: %d cycles (%.1f%% of total)\n",
 		with.EngineStalls, 100*float64(with.EngineStalls)/float64(with.Cycles))
-	fmt.Printf("cache      : %.2f%% miss rate, %d writebacks\n",
-		100*with.Cache.MissRate(), with.Cache.Writebacks)
+	fmt.Printf("cache      : %.2f%% miss rate, %d writebacks, %d flushed at end\n",
+		100*with.Cache.MissRate(), with.Cache.Writebacks, with.FlushedLines)
 	fmt.Printf("bus        : %d transactions, %d bytes\n", with.BusTxns, with.BusBytes)
 	if with.RMWEvents > 0 {
 		fmt.Printf("RMW events : %d (sub-block writes)\n", with.RMWEvents)

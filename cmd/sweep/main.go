@@ -14,6 +14,12 @@
 //
 // Output is deterministic: a -jobs 8 run emits bytes identical to a
 // -jobs 1 run (per-task RNG sharding; see internal/campaign).
+//
+// Workloads are streamed, not materialized: each task's references are
+// generated on the fly from its derived seed, so memory is bounded by
+// the simulated system state (cache-sized shadow plus touched DRAM
+// pages — the working set), independent of trace length: a
+// 100M-reference sweep (-refs 100000000) runs in constant memory.
 package main
 
 import (

@@ -100,8 +100,7 @@ func (r *Runner) runTask(cfg TaskConfig) Result {
 		return fail(err)
 	}
 	res.EngineName = entry.Name
-	gen, ok := trace.Generators[cfg.Workload]
-	if !ok {
+	if _, ok := trace.Sources[cfg.Workload]; !ok {
 		return fail(fmt.Errorf("campaign: unknown workload %q", cfg.Workload))
 	}
 	sc := socConfig(cfg)
@@ -116,11 +115,11 @@ func (r *Runner) runTask(cfg TaskConfig) Result {
 		if err != nil {
 			return soc.Report{}, err
 		}
-		tcfg, err := workloadProfile(cfg.Workload, cfg.Refs, cfg.Seed())
+		src, err := workloadSource(cfg.Workload, cfg.Refs, cfg.Seed())
 		if err != nil {
 			return soc.Report{}, err
 		}
-		return s.Run(gen(tcfg)), nil
+		return s.Run(src), nil
 	})
 	if err != nil {
 		return fail(err)
@@ -136,14 +135,16 @@ func (r *Runner) runTask(cfg TaskConfig) Result {
 	if err != nil {
 		return fail(err)
 	}
-	// Each task regenerates the point's trace from the same derived seed
-	// rather than sharing one across goroutines: generation is cheap
-	// relative to simulation and keeps tasks fully independent.
-	tcfg, err := workloadProfile(cfg.Workload, cfg.Refs, cfg.Seed())
+	// Each task rebuilds the point's reference stream from the same
+	// derived seed rather than sharing one across goroutines: the
+	// stream generates references on demand (no materialized slice), so
+	// a task's memory is bounded by the simulated working set however
+	// long the trace, and tasks stay fully independent.
+	src, err := workloadSource(cfg.Workload, cfg.Refs, cfg.Seed())
 	if err != nil {
 		return fail(err)
 	}
-	with := s.Run(gen(tcfg))
+	with := s.Run(src)
 
 	res.Gates = eng.Gates()
 	res.BaseCycles = base.Cycles

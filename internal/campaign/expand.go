@@ -88,17 +88,20 @@ func (s *Spec) Expand() []Task {
 	return tasks
 }
 
-// workloadProfile fetches the shared knob settings for the named
+// workloadSource fetches the shared knob settings for the named
 // workload (core.WorkloadProfile, the same table the E-suite uses) and
-// threads the task's derived seed through an explicit *rand.Rand — the
-// per-task RNG shard. A generator registered in trace.Generators but
-// missing from the profile table is an error, not a silent zero-knob
-// sweep: the two registries must move together.
-func workloadProfile(name string, refs int, seed int64) (trace.Config, error) {
+// builds the point's streaming reference source from the task's derived
+// seed — the per-task RNG shard. Seeding via Config.Seed (identical
+// references to an explicit NewRand(seed)) keeps the source replayable,
+// and streaming keeps a sweep's memory bounded by cache geometry, not
+// trace length. A workload registered in trace.Sources but missing from
+// the profile table is an error, not a silent zero-knob sweep: the two
+// registries must move together.
+func workloadSource(name string, refs int, seed int64) (trace.RefSource, error) {
 	cfg, ok := core.WorkloadProfile(name, refs)
 	if !ok {
-		return trace.Config{}, fmt.Errorf("campaign: workload %q has no knob profile (core.WorkloadProfile)", name)
+		return nil, fmt.Errorf("campaign: workload %q has no knob profile (core.WorkloadProfile)", name)
 	}
-	cfg.Rand = trace.NewRand(seed)
-	return cfg, nil
+	cfg.Seed = seed
+	return trace.Sources[name](cfg), nil
 }

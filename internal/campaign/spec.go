@@ -76,7 +76,7 @@ func (s *Spec) Validate() error {
 		}
 	}
 	for _, w := range s.Workloads {
-		if _, ok := trace.Generators[w]; !ok {
+		if _, ok := trace.Sources[w]; !ok {
 			return fmt.Errorf("campaign: unknown workload %q (known: %s)",
 				w, strings.Join(WorkloadNames(), ", "))
 		}
@@ -113,8 +113,8 @@ func (s *Spec) Size() int {
 
 // WorkloadNames lists the sweepable workloads in stable order.
 func WorkloadNames() []string {
-	names := make([]string, 0, len(trace.Generators))
-	for n := range trace.Generators {
+	names := make([]string, 0, len(trace.Sources))
+	for n := range trace.Sources {
 		names = append(names, n)
 	}
 	sort.Strings(names)

@@ -180,23 +180,39 @@ func WorkloadProfile(name string, refs int) (trace.Config, bool) {
 	return cfg, true
 }
 
-// Workloads returns the standard workload set used by the comparative
-// experiments, sized to refs references each.
-func Workloads(refs int) []*trace.Trace {
-	names := []string{"sequential", "code-only", "streaming", "pointer-chase", "matrix-like"}
-	out := make([]*trace.Trace, len(names))
-	for i, name := range names {
+// workloadNames is the standard five-workload set in suite order.
+var workloadNames = []string{"sequential", "code-only", "streaming", "pointer-chase", "matrix-like"}
+
+// WorkloadSources returns the standard workload set as streaming
+// reference sources sized to refs references each — the constant-memory
+// form long sweeps consume. Sources are Seed-configured, so they can be
+// replayed (soc.Compare replays).
+func WorkloadSources(refs int) []trace.RefSource {
+	out := make([]trace.RefSource, len(workloadNames))
+	for i, name := range workloadNames {
 		cfg, _ := WorkloadProfile(name, refs)
 		cfg.Seed = int64(11 + i)
-		out[i] = trace.Generators[name](cfg)
+		out[i] = trace.Sources[name](cfg)
 	}
 	return out
 }
 
-// MeasureOverhead runs eng against the baseline on tr with the standard
-// system configuration and returns the fractional overhead.
-func MeasureOverhead(eng edu.Engine, tr *trace.Trace) (float64, error) {
-	base, with, err := soc.Compare(soc.DefaultConfig(), eng, tr)
+// Workloads returns the same standard set fully materialized — the
+// convenient form for small experiments and tests.
+func Workloads(refs int) []*trace.Trace {
+	srcs := WorkloadSources(refs)
+	out := make([]*trace.Trace, len(srcs))
+	for i, src := range srcs {
+		out[i] = trace.Drain(src)
+	}
+	return out
+}
+
+// MeasureOverhead runs eng against the baseline on src with the
+// standard system configuration and returns the fractional overhead.
+// Both a streaming source and a materialized *trace.Trace satisfy src.
+func MeasureOverhead(eng edu.Engine, src trace.RefSource) (float64, error) {
+	base, with, err := soc.Compare(soc.DefaultConfig(), eng, src)
 	if err != nil {
 		return 0, err
 	}

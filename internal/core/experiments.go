@@ -376,12 +376,12 @@ func E7XomPipeline(refs int) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, tr := range Workloads(refs) {
-		ov, err := MeasureOverhead(xom, tr)
+	for _, src := range WorkloadSources(refs) {
+		ov, err := MeasureOverhead(xom, src)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow("overhead on "+tr.Name, fmt.Sprintf("%.2f%%", 100*ov))
+		t.AddRow("overhead on "+src.Label(), fmt.Sprintf("%.2f%%", 100*ov))
 	}
 	t.Notes = append(t.Notes,
 		"the survey: \"taking into account only the latency doesn't inform about the overall system cost\" — hence the per-workload rows")
@@ -544,26 +544,26 @@ func E11CacheSide(refs int) (*Table, error) {
 			KeystreamCyclesPerByte: 1, GeneratorGates: 6000,
 		})
 	}
-	for _, tr := range Workloads(refs)[:3] {
+	for _, src := range WorkloadSources(refs)[:3] {
 		a, err := mk7a()
 		if err != nil {
 			return nil, err
 		}
-		ovA, err := MeasureOverhead(a, tr)
+		ovA, err := MeasureOverhead(a, src)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(a.Name(), a.Placement().String(), tr.Name, fmt.Sprintf("%.2f%%", 100*ovA), a.Gates())
+		t.AddRow(a.Name(), a.Placement().String(), src.Label(), fmt.Sprintf("%.2f%%", 100*ovA), a.Gates())
 
 		b, err := mk7b()
 		if err != nil {
 			return nil, err
 		}
-		ovB, err := MeasureOverhead(b, tr)
+		ovB, err := MeasureOverhead(b, src)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(b.Name(), b.Placement().String(), tr.Name, fmt.Sprintf("%.2f%%", 100*ovB), b.Gates())
+		t.AddRow(b.Name(), b.Placement().String(), src.Label(), fmt.Sprintf("%.2f%%", 100*ovB), b.Gates())
 	}
 	t.Notes = append(t.Notes,
 		"7b pays on every access (hit or miss) and its keystream store alone dwarfs the 7a generator",
@@ -826,17 +826,17 @@ func E16VlsiDma(refs int) (*Table, error) {
 		PaperClaim: "\"data transfers to and from the external memory are done page-by-page ... viable provided that the OS is trusted\"",
 		Header:     []string{"workload", "page-fault rate", "vlsi overhead", "per-line 3-des overhead"},
 	}
-	workloads := []*trace.Trace{
-		trace.Streaming(trace.Config{Refs: refs, Seed: 71, WriteFraction: 0.2, DataSize: 1 << 20}),
-		trace.Sequential(trace.Config{Refs: refs, Seed: 72, LoadFraction: 0.35, WriteFraction: 0.3, JumpRate: 0.03, Locality: 0.7}),
-		trace.PointerChase(trace.Config{Refs: refs, Seed: 73, DataSize: 16 << 20}),
+	workloads := []trace.RefSource{
+		trace.StreamingSource(trace.Config{Refs: refs, Seed: 71, WriteFraction: 0.2, DataSize: 1 << 20}),
+		trace.SequentialSource(trace.Config{Refs: refs, Seed: 72, LoadFraction: 0.35, WriteFraction: 0.3, JumpRate: 0.03, Locality: 0.7}),
+		trace.PointerChaseSource(trace.Config{Refs: refs, Seed: 73, DataSize: 16 << 20}),
 	}
-	for _, tr := range workloads {
+	for _, src := range workloads {
 		vlsi, err := products.NewVLSI([]byte("on-chip!"), 4096, 8)
 		if err != nil {
 			return nil, err
 		}
-		ovV, err := MeasureOverhead(vlsi, tr)
+		ovV, err := MeasureOverhead(vlsi, src)
 		if err != nil {
 			return nil, err
 		}
@@ -844,11 +844,11 @@ func E16VlsiDma(refs int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ovL, err := MeasureOverhead(perLine, tr)
+		ovL, err := MeasureOverhead(perLine, src)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(tr.Name, fmt.Sprintf("%.1f%%", 100*vlsi.PageFaultRate()),
+		t.AddRow(src.Label(), fmt.Sprintf("%.1f%%", 100*vlsi.PageFaultRate()),
 			fmt.Sprintf("%.2f%%", 100*ovV), fmt.Sprintf("%.2f%%", 100*ovL))
 	}
 	t.Notes = append(t.Notes,

@@ -67,41 +67,57 @@ type CBC struct {
 
 // NewCBC wraps b in CBC mode with the given IV (length = block size).
 func NewCBC(b Block, iv []byte) (*CBC, error) {
+	if b.BlockSize() > maxBlockSize {
+		return nil, fmt.Errorf("modes: block size %d exceeds %d", b.BlockSize(), maxBlockSize)
+	}
 	if len(iv) != b.BlockSize() {
 		return nil, fmt.Errorf("modes: IV length %d != block size %d", len(iv), b.BlockSize())
 	}
 	return &CBC{b, append([]byte{}, iv...)}, nil
 }
 
-// Encrypt enciphers src into dst as one chained message.
-func (c *CBC) Encrypt(dst, src []byte) {
-	bs := c.b.BlockSize()
+// cbcEncrypt is the one copy of the CBC encryption chain: xor each
+// plaintext block with the previous ciphertext block (iv first) into
+// scratch (a block-size buffer the caller owns — stack or persistent,
+// which is what keeps the hot path allocation-free), then encipher.
+func cbcEncrypt(b Block, iv, scratch, dst, src []byte) {
+	bs := b.BlockSize()
 	checkLen(len(src), bs)
-	prev := c.iv
+	prev := iv
 	for i := 0; i < len(src); i += bs {
-		var x [64]byte
-		xb := x[:bs]
 		for j := 0; j < bs; j++ {
-			xb[j] = src[i+j] ^ prev[j]
+			scratch[j] = src[i+j] ^ prev[j]
 		}
-		c.b.Encrypt(dst[i:i+bs], xb)
+		b.Encrypt(dst[i:i+bs], scratch)
 		prev = dst[i : i+bs]
 	}
 }
 
-// Decrypt deciphers src into dst. dst and src must not alias, because the
-// chain needs the previous *ciphertext* block.
-func (c *CBC) Decrypt(dst, src []byte) {
-	bs := c.b.BlockSize()
+// cbcDecrypt is the one copy of the CBC decryption chain. dst and src
+// must not alias: the chain needs the previous *ciphertext* block.
+func cbcDecrypt(b Block, iv, dst, src []byte) {
+	bs := b.BlockSize()
 	checkLen(len(src), bs)
-	prev := c.iv
+	prev := iv
 	for i := 0; i < len(src); i += bs {
-		c.b.Decrypt(dst[i:i+bs], src[i:i+bs])
+		b.Decrypt(dst[i:i+bs], src[i:i+bs])
 		for j := 0; j < bs; j++ {
 			dst[i+j] ^= prev[j]
 		}
 		prev = src[i : i+bs]
 	}
+}
+
+// Encrypt enciphers src into dst as one chained message.
+func (c *CBC) Encrypt(dst, src []byte) {
+	var x [maxBlockSize]byte
+	cbcEncrypt(c.b, c.iv, x[:c.b.BlockSize()], dst, src)
+}
+
+// Decrypt deciphers src into dst. dst and src must not alias, because the
+// chain needs the previous *ciphertext* block.
+func (c *CBC) Decrypt(dst, src []byte) {
+	cbcDecrypt(c.b, c.iv, dst, src)
 }
 
 // DecryptFrom deciphers only the chain suffix beginning at block index
@@ -111,7 +127,6 @@ func (c *CBC) Decrypt(dst, src []byte) {
 // fetching one extra block. The engines use it for jump-target costing.
 func (c *CBC) DecryptFrom(dst, src []byte, start int, prevCT []byte) {
 	bs := c.b.BlockSize()
-	checkLen(len(src), bs)
 	prev := prevCT
 	if start == 0 {
 		prev = c.iv
@@ -119,13 +134,7 @@ func (c *CBC) DecryptFrom(dst, src []byte, start int, prevCT []byte) {
 	if len(prev) != bs {
 		panic("modes: DecryptFrom needs previous ciphertext block")
 	}
-	for i := 0; i < len(src); i += bs {
-		c.b.Decrypt(dst[i:i+bs], src[i:i+bs])
-		for j := 0; j < bs; j++ {
-			dst[i+j] ^= prev[j]
-		}
-		prev = src[i : i+bs]
-	}
+	cbcDecrypt(c.b, prev, dst, src)
 }
 
 // IVMode selects how BlockCBC derives per-cache-block IVs.
@@ -149,16 +158,29 @@ type BlockCBC struct {
 	mode     IVMode
 	salt     uint64            // random vector (IVRandom)
 	counters map[uint64]uint64 // per-address write counters (IVCounter)
+	// Scratch for iv() and the chaining xor so the per-line hot path
+	// does not allocate; a BlockCBC is a single hardware unit and is
+	// not goroutine-safe.
+	ivSrc, ivBuf, xorBuf [maxBlockSize]byte
 }
+
+// maxBlockSize bounds the cipher block sizes the mode scratch buffers
+// accommodate (AES is 16; 64 leaves headroom).
+const maxBlockSize = 64
 
 // NewBlockCBC builds an AEGIS-style per-cache-block CBC engine. salt
 // seeds the random-vector variant and the initial counter value.
 func NewBlockCBC(b Block, mode IVMode, salt uint64) *BlockCBC {
+	if b.BlockSize() > maxBlockSize {
+		panic(fmt.Sprintf("modes: block size %d exceeds %d", b.BlockSize(), maxBlockSize))
+	}
 	return &BlockCBC{b: b, mode: mode, salt: salt, counters: make(map[uint64]uint64)}
 }
 
 // iv computes the initialization vector for the cache block at addr.
 // freshen advances the write counter first (call with true on writes).
+// The returned slice aliases internal scratch, valid until the next
+// iv() call.
 func (a *BlockCBC) iv(addr uint64, freshen bool) []byte {
 	bs := a.b.BlockSize()
 	var salt uint64
@@ -171,7 +193,10 @@ func (a *BlockCBC) iv(addr uint64, freshen bool) []byte {
 		}
 		salt = a.salt + a.counters[addr]
 	}
-	src := make([]byte, bs)
+	src := a.ivSrc[:bs]
+	for i := range src {
+		src[i] = 0
+	}
 	binary.BigEndian.PutUint64(src[:8], addr)
 	if bs >= 16 {
 		binary.BigEndian.PutUint64(src[8:16], salt)
@@ -179,26 +204,29 @@ func (a *BlockCBC) iv(addr uint64, freshen bool) []byte {
 		// 8-byte blocks: fold the salt into the address word.
 		binary.BigEndian.PutUint64(src[:8], addr^salt)
 	}
-	iv := make([]byte, bs)
+	iv := a.ivBuf[:bs]
 	a.b.Encrypt(iv, src)
 	return iv
 }
 
 // IVFor exposes the current IV for a block address (no counter advance);
-// the birthday-attack experiment samples it.
-func (a *BlockCBC) IVFor(addr uint64) []byte { return a.iv(addr, false) }
-
-// EncryptBlockAt enciphers one cache block stored at addr, advancing the
-// write counter in IVCounter mode so rewrites never reuse an IV.
-func (a *BlockCBC) EncryptBlockAt(addr uint64, dst, src []byte) {
-	cbc := &CBC{b: a.b, iv: a.iv(addr, true)}
-	cbc.Encrypt(dst, src)
+// the birthday-attack experiment samples it. The result is a copy the
+// caller may retain.
+func (a *BlockCBC) IVFor(addr uint64) []byte {
+	return append([]byte(nil), a.iv(addr, false)...)
 }
 
-// DecryptBlockAt deciphers one cache block stored at addr.
+// EncryptBlockAt enciphers one cache block stored at addr, advancing the
+// write counter in IVCounter mode so rewrites never reuse an IV. The
+// persistent xor scratch keeps the per-line hot path allocation-free.
+func (a *BlockCBC) EncryptBlockAt(addr uint64, dst, src []byte) {
+	cbcEncrypt(a.b, a.iv(addr, true), a.xorBuf[:a.b.BlockSize()], dst, src)
+}
+
+// DecryptBlockAt deciphers one cache block stored at addr. dst and src
+// must not alias (the chain needs the previous ciphertext block).
 func (a *BlockCBC) DecryptBlockAt(addr uint64, dst, src []byte) {
-	cbc := &CBC{b: a.b, iv: a.iv(addr, false)}
-	cbc.Decrypt(dst, src)
+	cbcDecrypt(a.b, a.iv(addr, false), dst, src)
 }
 
 // CTR is counter mode: the cipher enciphers a per-block counter to form
@@ -209,31 +237,45 @@ func (a *BlockCBC) DecryptBlockAt(addr uint64, dst, src []byte) {
 type CTR struct {
 	b     Block
 	nonce uint64
+	// Scratch so the per-block pad generation does not allocate; a CTR
+	// is a single hardware unit and is not goroutine-safe.
+	ctrBlock, padBlock [maxBlockSize]byte
 }
 
 // NewCTR builds a CTR pad generator keyed by b with a fixed nonce mixed
 // into every counter block.
-func NewCTR(b Block, nonce uint64) *CTR { return &CTR{b, nonce} }
+func NewCTR(b Block, nonce uint64) *CTR {
+	if b.BlockSize() > maxBlockSize {
+		panic(fmt.Sprintf("modes: block size %d exceeds %d", b.BlockSize(), maxBlockSize))
+	}
+	return &CTR{b: b, nonce: nonce}
+}
+
+// padOne fills the internal pad scratch for one counter value and
+// returns it (valid until the next padOne call).
+func (c *CTR) padOne(counter uint64) []byte {
+	bs := c.b.BlockSize()
+	ctrBlock := c.ctrBlock[:bs]
+	for i := range ctrBlock {
+		ctrBlock[i] = 0
+	}
+	binary.BigEndian.PutUint64(ctrBlock[:8], c.nonce)
+	if bs >= 16 {
+		binary.BigEndian.PutUint64(ctrBlock[8:16], counter)
+	} else {
+		binary.BigEndian.PutUint64(ctrBlock[:8], c.nonce^counter)
+	}
+	pad := c.padBlock[:bs]
+	c.b.Encrypt(pad, ctrBlock)
+	return pad
+}
 
 // Pad writes the keystream pad for the given starting counter (usually
 // the bus address divided by block size) into dst, any length.
 func (c *CTR) Pad(dst []byte, counter uint64) {
 	bs := c.b.BlockSize()
-	ctrBlock := make([]byte, bs)
-	pad := make([]byte, bs)
 	for off := 0; off < len(dst); off += bs {
-		for i := range ctrBlock {
-			ctrBlock[i] = 0
-		}
-		binary.BigEndian.PutUint64(ctrBlock[:8], c.nonce)
-		if bs >= 16 {
-			binary.BigEndian.PutUint64(ctrBlock[8:16], counter)
-		} else {
-			binary.BigEndian.PutUint64(ctrBlock[:8], c.nonce^counter)
-		}
-		c.b.Encrypt(pad, ctrBlock)
-		n := copy(dst[off:], pad)
-		_ = n
+		copy(dst[off:], c.padOne(counter))
 		counter++
 	}
 }
@@ -241,9 +283,16 @@ func (c *CTR) Pad(dst []byte, counter uint64) {
 // XOR applies the pad for counter to src, writing dst (encrypt and
 // decrypt are the same operation).
 func (c *CTR) XOR(dst, src []byte, counter uint64) {
-	pad := make([]byte, len(src))
-	c.Pad(pad, counter)
-	for i := range src {
-		dst[i] = src[i] ^ pad[i]
+	bs := c.b.BlockSize()
+	for off := 0; off < len(src); off += bs {
+		pad := c.padOne(counter)
+		n := len(src) - off
+		if n > bs {
+			n = bs
+		}
+		for i := 0; i < n; i++ {
+			dst[off+i] = src[off+i] ^ pad[i]
+		}
+		counter++
 	}
 }

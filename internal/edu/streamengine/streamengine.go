@@ -34,7 +34,10 @@ type Config struct {
 }
 
 // Engine is a configured stream EDU.
-type Engine struct{ cfg Config }
+type Engine struct {
+	cfg Config
+	pad []byte // reusable pad scratch: the line transform must not allocate
+}
 
 // New builds the engine.
 func New(cfg Config) (*Engine, error) {
@@ -47,7 +50,7 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Name == "" {
 		cfg.Name = "stream"
 	}
-	return &Engine{cfg}, nil
+	return &Engine{cfg: cfg, pad: make([]byte, cfg.Pads.LineSize())}, nil
 }
 
 // Name implements edu.Engine.
@@ -71,7 +74,7 @@ func (e *Engine) DecryptLine(addr uint64, dst, src []byte) { e.xor(addr, dst, sr
 
 func (e *Engine) xor(addr uint64, dst, src []byte) {
 	ls := e.cfg.Pads.LineSize()
-	pad := make([]byte, ls)
+	pad := e.pad
 	for off := 0; off < len(src); off += ls {
 		e.cfg.Pads.Pad(pad, addr+uint64(off))
 		n := len(src) - off

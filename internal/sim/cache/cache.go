@@ -131,6 +131,13 @@ func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 type Result struct {
 	// Hit reports whether the access hit.
 	Hit bool
+	// Slot is the line's storage slot (set*ways + way) when the access
+	// touched a resident or newly filled line, and -1 when no line was
+	// involved (a write-through no-allocate miss). On a fill it names
+	// the victim's slot, so callers keeping per-line side state can
+	// recycle the victim's storage in lockstep with the eviction —
+	// clean or dirty.
+	Slot int
 	// FillAddr is the line-aligned address fetched from memory on a
 	// miss-with-allocate (0 and Fill=false otherwise).
 	Fill     bool
@@ -138,7 +145,9 @@ type Result struct {
 	// WritebackAddr is the line-aligned dirty victim written to memory.
 	Writeback     bool
 	WritebackAddr uint64
-	// Through reports a write-through store of Size bytes at Addr.
+	// Through reports that a store was propagated straight to memory
+	// (write-through policy). The store's address and size are those of
+	// the reference that caused it; the Result carries no copy.
 	Through bool
 }
 
@@ -158,6 +167,7 @@ func (c *Cache) Access(addr uint64, isStore bool) Result {
 			}
 			var res Result
 			res.Hit = true
+			res.Slot = int(set)*c.cfg.Ways + i
 			if isStore {
 				switch c.cfg.WriteMode {
 				case WriteBack:
@@ -173,6 +183,7 @@ func (c *Cache) Access(addr uint64, isStore bool) Result {
 
 	c.stats.Misses++
 	var res Result
+	res.Slot = -1
 
 	if isStore && c.cfg.WriteMode == WriteThrough {
 		// No-allocate on write miss: the store goes straight out.
@@ -208,26 +219,40 @@ func (c *Cache) Access(addr uint64, isStore bool) Result {
 	if isStore && c.cfg.WriteMode == WriteBack {
 		ways[victim].dirty = true
 	}
+	res.Slot = int(set)*c.cfg.Ways + victim
 	res.Fill = true
 	res.FillAddr = c.LineAddr(addr)
 	return res
 }
 
-// FlushDirty returns the line addresses of all dirty lines and marks
-// them clean — used when tearing a system down so writeback traffic is
-// fully accounted.
-func (c *Cache) FlushDirty() []uint64 {
-	var out []uint64
+// Lines returns the total number of line slots (sets x ways) — the
+// bound on any per-resident-line side storage a caller keeps.
+func (c *Cache) Lines() int { return int(c.setsN) * c.cfg.Ways }
+
+// DirtyLine identifies one dirty resident line: its line-aligned
+// address and its storage slot (see Result.Slot).
+type DirtyLine struct {
+	Addr uint64
+	Slot int
+}
+
+// FlushDirty appends every dirty line to buf and marks them clean —
+// the end-of-run drain that makes writeback traffic fully accounted.
+// Passing a reused buf[:0] keeps the call allocation-free.
+func (c *Cache) FlushDirty(buf []DirtyLine) []DirtyLine {
 	for s := range c.sets {
 		for w := range c.sets[s] {
 			l := &c.sets[s][w]
 			if l.valid && l.dirty {
-				out = append(out, (l.tag*c.setsN+uint64(s))*uint64(c.cfg.LineSize))
+				buf = append(buf, DirtyLine{
+					Addr: (l.tag*c.setsN + uint64(s)) * uint64(c.cfg.LineSize),
+					Slot: s*c.cfg.Ways + w,
+				})
 				l.dirty = false
 			}
 		}
 	}
-	return out
+	return buf
 }
 
 // Contains reports whether addr's line is resident (test helper and

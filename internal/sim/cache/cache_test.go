@@ -169,19 +169,53 @@ func TestFlushDirty(t *testing.T) {
 	c.Access(0x000, true)
 	c.Access(0x020, true)
 	c.Access(0x040, false)
-	dirty := c.FlushDirty()
+	dirty := c.FlushDirty(nil)
 	if len(dirty) != 2 {
 		t.Fatalf("FlushDirty returned %d lines, want 2", len(dirty))
 	}
 	seen := map[uint64]bool{}
-	for _, a := range dirty {
-		seen[a] = true
+	for _, d := range dirty {
+		seen[d.Addr] = true
+		if d.Slot < 0 || d.Slot >= c.Lines() {
+			t.Errorf("flush slot %d out of range [0,%d)", d.Slot, c.Lines())
+		}
 	}
 	if !seen[0x000] || !seen[0x020] {
 		t.Errorf("FlushDirty addresses wrong: %v", dirty)
 	}
-	if len(c.FlushDirty()) != 0 {
+	if len(c.FlushDirty(dirty[:0])) != 0 {
 		t.Error("second flush found dirty lines")
+	}
+}
+
+// Slots must name the victim's storage on fills (clean or dirty), stay
+// stable across hits, and be -1 only for write-through bypass misses.
+func TestSlotTracking(t *testing.T) {
+	c := mustCache(t, small())
+	setStride := uint64(32 * 16)
+	r0 := c.Access(0, false)
+	if !r0.Fill || r0.Slot < 0 {
+		t.Fatalf("cold fill got %+v", r0)
+	}
+	if rh := c.Access(4, false); !rh.Hit || rh.Slot != r0.Slot {
+		t.Errorf("hit slot %d != fill slot %d", rh.Slot, r0.Slot)
+	}
+	r1 := c.Access(setStride, false)
+	if r1.Slot == r0.Slot {
+		t.Error("second way reused the first way's slot")
+	}
+	// Third line in the same set evicts LRU (line 0): the fill must
+	// report that victim's slot even though the eviction is clean.
+	r2 := c.Access(2*setStride, false)
+	if r2.Writeback || !r2.Fill || r2.Slot != r0.Slot {
+		t.Errorf("clean eviction fill got %+v, want victim slot %d", r2, r0.Slot)
+	}
+
+	wt := small()
+	wt.WriteMode = WriteThrough
+	cw := mustCache(t, wt)
+	if r := cw.Access(0x200, true); r.Slot != -1 {
+		t.Errorf("write-through bypass miss got slot %d, want -1", r.Slot)
 	}
 }
 

@@ -98,19 +98,21 @@ func (d *DRAM) Write(addr uint64, data []byte) {
 
 // Read fetches n bytes at addr; untouched memory reads as zero.
 func (d *DRAM) Read(addr uint64, n int) []byte {
-	out := make([]byte, 0, n)
-	for n > 0 {
+	out := make([]byte, n)
+	d.ReadInto(addr, out)
+	return out
+}
+
+// ReadInto fetches len(dst) bytes at addr into dst without allocating —
+// the simulator's hot fill path.
+func (d *DRAM) ReadInto(addr uint64, dst []byte) {
+	for len(dst) > 0 {
 		p := d.page(addr)
 		off := int(addr & (pageSize - 1))
-		take := pageSize - off
-		if take > n {
-			take = n
-		}
-		out = append(out, p[off:off+take]...)
-		n -= take
-		addr += uint64(take)
+		n := copy(dst, p[off:])
+		dst = dst[n:]
+		addr += uint64(n)
 	}
-	return out
 }
 
 // Dump copies out [addr, addr+n): the attacker's memory image, exactly

@@ -30,6 +30,12 @@ type Config struct {
 	CacheHitCycles int
 	// Engine is the bus-encryption unit; nil means edu.Null{}.
 	Engine edu.Engine
+	// SkipFinalFlush disables the end-of-run drain of dirty cache
+	// lines. The default (false) spills every dirty line when Run
+	// finishes and folds the cycles into the report, so writeback
+	// traffic is fully accounted; Compare flushes both systems, keeping
+	// the overhead comparison apples-to-apples.
+	SkipFinalFlush bool
 }
 
 // DefaultConfig is the reference 2005-class embedded system used across
@@ -57,6 +63,7 @@ type Report struct {
 	StallCycles  uint64 // cycles beyond compute + hit time
 	EngineStalls uint64 // the portion attributable to the engine
 	RMWEvents    uint64 // partial writes that forced read-modify-write
+	FlushedLines uint64 // dirty lines drained at end of run (spill cycles included in Cycles)
 	Cache        cache.Stats
 	BusBytes     uint64
 	BusTxns      uint64
@@ -87,7 +94,18 @@ type SoC struct {
 	bus    *bus.Bus
 	dram   *dram.DRAM
 	engine edu.Engine
-	shadow map[uint64][]byte // plaintext of resident lines, for writeback data
+	// shadow holds the plaintext of every resident cache line in a flat
+	// arena indexed by the cache's line slot (cache.Result.Slot), so its
+	// footprint is exactly the cache capacity and entries are recycled
+	// in lockstep with evictions — clean or dirty. It exists because the
+	// cache is a timing/state model without a data store, but writebacks
+	// must put real (enciphered) bytes on the probed bus.
+	shadow []byte
+	// Preallocated scratch so the per-reference hot path never
+	// allocates: inbound ciphertext, outbound ciphertext, and a line of
+	// plaintext for non-resident write-through rewrites.
+	ctIn, ctOut, ptBuf []byte
+	flushBuf           []cache.DirtyLine
 }
 
 // New assembles a system from cfg.
@@ -115,10 +133,25 @@ func New(cfg Config) (*SoC, error) {
 		return nil, fmt.Errorf("soc: line size %d not a multiple of engine granule %d",
 			cfg.Cache.LineSize, eng.BlockBytes())
 	}
+	ls := cfg.Cache.LineSize
 	return &SoC{
 		cfg: cfg, cache: c, bus: b, dram: d, engine: eng,
-		shadow: make(map[uint64][]byte),
+		shadow: make([]byte, c.Lines()*ls),
+		ctIn:   make([]byte, ls),
+		ctOut:  make([]byte, ls),
+		ptBuf:  make([]byte, ls),
 	}, nil
+}
+
+// ShadowBytes reports the size of the resident-line plaintext store —
+// fixed at cache capacity by construction (the regression guard for the
+// old unbounded shadow map, which grew with every clean eviction).
+func (s *SoC) ShadowBytes() int { return len(s.shadow) }
+
+// slotData returns the shadow plaintext for a cache slot.
+func (s *SoC) slotData(slot int) []byte {
+	ls := s.cfg.Cache.LineSize
+	return s.shadow[slot*ls : (slot+1)*ls]
 }
 
 // Bus exposes the bus for probe attachment.
@@ -166,19 +199,6 @@ func (s *SoC) ReadPlain(addr uint64, n int) []byte {
 	return out[off : off+n]
 }
 
-// lineData returns the plaintext the SoC believes lives at lineAddr,
-// consulting the shadow of resident lines first.
-func (s *SoC) lineData(lineAddr uint64) []byte {
-	if d, ok := s.shadow[lineAddr]; ok {
-		return d
-	}
-	ls := s.cfg.Cache.LineSize
-	ct := s.dram.Read(lineAddr, ls)
-	pt := make([]byte, ls)
-	s.engine.DecryptLine(lineAddr, pt, ct)
-	return pt
-}
-
 // transferSize asks the engine how many bytes of a line actually cross
 // the bus (compressed code moves fewer — Figure 8).
 func (s *SoC) transferSize(lineAddr uint64, lineBytes int) int {
@@ -190,58 +210,83 @@ func (s *SoC) transferSize(lineAddr uint64, lineBytes int) int {
 	return lineBytes
 }
 
-// fill performs a line fill: DRAM access, bus transfer of ciphertext,
-// engine decryption. Returns total CPU cycles for the miss path.
-func (s *SoC) fill(lineAddr uint64) (cycles, engineStall uint64) {
+// fill performs a line fill into shadow slot: DRAM access, bus transfer
+// of ciphertext, engine decryption. Returns total CPU cycles for the
+// miss path. Allocation-free: scratch buffers and the slot arena are
+// preallocated.
+func (s *SoC) fill(lineAddr uint64, slot int) (cycles, engineStall uint64) {
 	ls := s.cfg.Cache.LineSize
 	dramCycles := s.dram.AccessCycles(lineAddr)
-	ct := s.dram.Read(lineAddr, ls)
-	busCycles := s.bus.Transfer(bus.Read, lineAddr, ct[:s.transferSize(lineAddr, ls)])
-	pt := make([]byte, ls)
-	s.engine.DecryptLine(lineAddr, pt, ct)
-	s.shadow[lineAddr] = pt
+	s.dram.ReadInto(lineAddr, s.ctIn)
+	busCycles := s.bus.Transfer(bus.Read, lineAddr, s.ctIn[:s.transferSize(lineAddr, ls)])
+	s.engine.DecryptLine(lineAddr, s.slotData(slot), s.ctIn)
 	transfer := dramCycles + busCycles
 	extra := s.engine.ReadExtraCycles(lineAddr, ls, transfer)
 	return transfer + extra, extra
 }
 
-// spill writes a (dirty) line out: engine encryption, bus, DRAM.
-func (s *SoC) spill(lineAddr uint64) (cycles, engineStall uint64) {
+// spill writes a dirty line's plaintext pt out: engine encryption, bus,
+// DRAM. The caller owns pt (normally the victim's shadow slot, read
+// before the subsequent fill overwrites it).
+func (s *SoC) spill(lineAddr uint64, pt []byte) (cycles, engineStall uint64) {
 	ls := s.cfg.Cache.LineSize
-	pt := s.lineData(lineAddr)
-	ct := make([]byte, ls)
-	s.engine.EncryptLine(lineAddr, ct, pt)
+	s.engine.EncryptLine(lineAddr, s.ctOut, pt)
 	dramCycles := s.dram.AccessCycles(lineAddr)
-	busCycles := s.bus.Transfer(bus.Write, lineAddr, ct[:s.transferSize(lineAddr, ls)])
-	s.dram.Write(lineAddr, ct)
+	busCycles := s.bus.Transfer(bus.Write, lineAddr, s.ctOut[:s.transferSize(lineAddr, ls)])
+	s.dram.Write(lineAddr, s.ctOut)
 	extra := s.engine.WriteExtraCycles(lineAddr, ls)
-	delete(s.shadow, lineAddr)
 	return dramCycles + busCycles + extra, extra
 }
 
 // writeThrough costs a store of size bytes at addr going straight to
 // memory. If the store granule is smaller than the engine's block, the
 // survey's five-step read-decipher-modify-recipher-write sequence runs.
-func (s *SoC) writeThrough(addr uint64, size int, rep *Report) (cycles, engineStall uint64) {
+//
+// Timing is granule-accurate (the survey's §2.2 sequence); the data
+// path operates on the whole enclosing line so DRAM always holds the
+// per-line ciphertext layout LoadImage installed and ReadPlain expects
+// — re-enciphering a lone granule under a chained or address-bound mode
+// would clobber real memory contents. Stores carry no data in this
+// model, so the line's plaintext is written back unchanged (counter
+// modes still advance, so the ciphertext may legitimately differ).
+// hitSlot is the resident line's shadow slot, or -1 on a no-allocate
+// write miss (the plaintext is then recovered from DRAM).
+func (s *SoC) writeThrough(addr uint64, size, hitSlot int, rep *Report) (cycles, engineStall uint64) {
+	ls := s.cfg.Cache.LineSize
 	bb := s.engine.BlockBytes()
-	if s.engine.NeedsRMW(size) {
+	lineAddr := addr &^ uint64(ls-1)
+
+	// Data path: the line's actual plaintext, then a full-line recipher.
+	// The current DRAM ciphertext is only needed to recover a
+	// non-resident line's plaintext or to put the RMW granule read on
+	// the bus.
+	needRMW := s.engine.NeedsRMW(size)
+	if hitSlot < 0 || needRMW {
+		s.dram.ReadInto(lineAddr, s.ctIn)
+	}
+	pt := s.ptBuf
+	if hitSlot >= 0 {
+		pt = s.slotData(hitSlot)
+	} else {
+		s.engine.DecryptLine(lineAddr, pt, s.ctIn)
+	}
+	s.engine.EncryptLine(lineAddr, s.ctOut, pt)
+
+	if needRMW {
 		rep.RMWEvents++
 		blockAddr := addr &^ uint64(bb-1)
+		gOff := int(blockAddr - lineAddr)
 		// Read the enclosing granule...
 		dramR := s.dram.AccessCycles(blockAddr)
-		ct := s.dram.Read(blockAddr, bb)
-		busR := s.bus.Transfer(bus.Read, blockAddr, ct)
-		pt := make([]byte, bb)
-		s.engine.DecryptLine(blockAddr, pt, ct)
+		busR := s.bus.Transfer(bus.Read, blockAddr, s.ctIn[gOff:gOff+bb])
 		readExtra := s.engine.ReadExtraCycles(blockAddr, bb, dramR+busR)
-		// ...modify (the store data; value irrelevant to timing)...
-		pt[int(addr-blockAddr)%bb] ^= 0x5a
-		// ...re-cipher and write back.
-		s.engine.EncryptLine(blockAddr, ct, pt)
+		// ...decipher, modify, re-cipher (performed line-wide above; the
+		// store's value is irrelevant to timing)...
 		writeExtra := s.engine.WriteExtraCycles(blockAddr, bb)
+		// ...and write back.
 		dramW := s.dram.AccessCycles(blockAddr)
-		busW := s.bus.Transfer(bus.Write, blockAddr, ct)
-		s.dram.Write(blockAddr, ct)
+		busW := s.bus.Transfer(bus.Write, blockAddr, s.ctOut[gOff:gOff+bb])
+		s.dram.Write(lineAddr, s.ctOut)
 		stall := readExtra + writeExtra
 		return dramR + busR + dramW + busW + stall, stall
 	}
@@ -251,23 +296,32 @@ func (s *SoC) writeThrough(addr uint64, size int, rep *Report) (cycles, engineSt
 		n = bb
 	}
 	blockAddr := addr &^ uint64(bb-1)
-	pt := make([]byte, n)
-	ct := make([]byte, n)
-	s.engine.EncryptLine(blockAddr, ct, pt)
+	gOff := int(blockAddr - lineAddr)
+	if gOff+n > ls {
+		n = ls - gOff // clamp to the line (stores never straddle lines)
+	}
 	extra := s.engine.WriteExtraCycles(blockAddr, n)
 	dramW := s.dram.AccessCycles(blockAddr)
-	busW := s.bus.Transfer(bus.Write, blockAddr, ct)
-	s.dram.Write(blockAddr, ct)
+	busW := s.bus.Transfer(bus.Write, blockAddr, s.ctOut[gOff:gOff+n])
+	s.dram.Write(lineAddr, s.ctOut)
 	return dramW + busW + extra, extra
 }
 
-// Run executes tr to completion and reports the cycle accounting.
-func (s *SoC) Run(tr *trace.Trace) Report {
-	rep := Report{EngineName: s.engine.Name(), Workload: tr.Name}
+// Run consumes src to completion and reports the cycle accounting. The
+// source is rewound first (Run measures whole workloads), and the hot
+// loop performs zero heap allocations per reference — trace length is
+// bounded by time, not memory.
+func (s *SoC) Run(src trace.RefSource) Report {
+	src.Reset()
+	rep := Report{EngineName: s.engine.Name(), Workload: src.Label()}
 	hit := uint64(s.cfg.CacheHitCycles)
 	perAccess := s.engine.PerAccessCycles()
 
-	for _, ref := range tr.Refs {
+	for {
+		ref, ok := src.Next()
+		if !ok {
+			break
+		}
 		rep.Refs++
 		if ref.Kind == trace.Fetch {
 			rep.Instructions++
@@ -279,22 +333,39 @@ func (s *SoC) Run(tr *trace.Trace) Report {
 		rep.Cycles += hit + perAccess
 
 		if res.Writeback {
-			c, e := s.spill(res.WritebackAddr)
+			// The victim's plaintext lives in the fill slot until the
+			// fill below overwrites it.
+			c, e := s.spill(res.WritebackAddr, s.slotData(res.Slot))
 			rep.Cycles += c
 			rep.StallCycles += c
 			rep.EngineStalls += e
 		}
 		if res.Fill {
-			c, e := s.fill(res.FillAddr)
+			c, e := s.fill(res.FillAddr, res.Slot)
 			rep.Cycles += c
 			rep.StallCycles += c
 			rep.EngineStalls += e
 		}
 		if res.Through {
-			c, e := s.writeThrough(ref.Addr, int(ref.Size), &rep)
+			hitSlot := -1
+			if res.Hit {
+				hitSlot = res.Slot
+			}
+			c, e := s.writeThrough(ref.Addr, int(ref.Size), hitSlot, &rep)
 			rep.Cycles += c
 			rep.StallCycles += c
 			rep.EngineStalls += e
+		}
+	}
+
+	if !s.cfg.SkipFinalFlush {
+		s.flushBuf = s.cache.FlushDirty(s.flushBuf[:0])
+		for _, d := range s.flushBuf {
+			c, e := s.spill(d.Addr, s.slotData(d.Slot))
+			rep.Cycles += c
+			rep.StallCycles += c
+			rep.EngineStalls += e
+			rep.FlushedLines++
 		}
 	}
 
@@ -307,15 +378,17 @@ func (s *SoC) Run(tr *trace.Trace) Report {
 // Compare runs the same workload on a baseline (Null engine) system and
 // a system with eng installed, both built from cfg, and returns both
 // reports. This is the canonical overhead measurement every experiment
-// uses: identical geometry, identical trace, engine as the only delta.
-func Compare(cfg Config, eng edu.Engine, tr *trace.Trace) (base, with Report, err error) {
+// uses: identical geometry, identical reference stream (src is rewound
+// between runs — use a Seed-configured source, not an explicit Rand),
+// engine as the only delta.
+func Compare(cfg Config, eng edu.Engine, src trace.RefSource) (base, with Report, err error) {
 	bcfg := cfg
 	bcfg.Engine = edu.Null{}
 	bsoc, err := New(bcfg)
 	if err != nil {
 		return base, with, err
 	}
-	base = bsoc.Run(tr)
+	base = bsoc.Run(src)
 
 	ecfg := cfg
 	ecfg.Engine = eng
@@ -323,6 +396,6 @@ func Compare(cfg Config, eng edu.Engine, tr *trace.Trace) (base, with Report, er
 	if err != nil {
 		return base, with, err
 	}
-	with = esoc.Run(tr)
+	with = esoc.Run(src)
 	return base, with, nil
 }

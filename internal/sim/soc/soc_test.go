@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/crypto/modes"
 	"repro/internal/edu"
+	"repro/internal/edu/products"
 	"repro/internal/sim/bus"
 	"repro/internal/sim/cache"
 	"repro/internal/sim/trace"
@@ -213,6 +215,174 @@ func TestProbeSeesCiphertextOnlyWithEngine(t *testing.T) {
 	enc := run(fixedEngine{block: 16})
 	if bytes.Contains(enc.data, secret[:16]) {
 		t.Error("encrypted system: probe captured plaintext")
+	}
+}
+
+// The shadow store must be bounded by cache geometry, not by how many
+// distinct lines the workload touches — the regression guard for the
+// old map that grew on every clean eviction.
+func TestShadowBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Engine = fixedEngine{block: 16}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ShadowBytes(); got != cfg.Cache.Size {
+		t.Fatalf("shadow = %d bytes, want cache size %d", got, cfg.Cache.Size)
+	}
+	// A scan over 64x the cache capacity forces continuous clean
+	// evictions; the shadow must not grow.
+	src := trace.StreamingSource(trace.Config{
+		Refs: 200000, Seed: 9, DataSize: uint64(64 * cfg.Cache.Size),
+	})
+	s.Run(src)
+	if got := s.ShadowBytes(); got != cfg.Cache.Size {
+		t.Errorf("shadow grew to %d bytes after run, want %d", got, cfg.Cache.Size)
+	}
+}
+
+// The per-reference hot path must not allocate: fills, spills and
+// write-throughs reuse preallocated line buffers and the slot arena,
+// and streaming sources generate references without materializing.
+func TestHotLoopZeroAllocs(t *testing.T) {
+	systems := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"null-writeback", func(c *Config) {}},
+		{"engine-writeback", func(c *Config) { c.Engine = fixedEngine{block: 16, readCost: 7, writeCost: 3} }},
+		{"engine-writethrough", func(c *Config) {
+			c.Engine = fixedEngine{block: 16, readCost: 7, writeCost: 3}
+			c.Cache.WriteMode = cache.WriteThrough
+		}},
+	}
+	for _, sys := range systems {
+		t.Run(sys.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			sys.mut(&cfg)
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := trace.SequentialSource(trace.Config{
+				Refs: 20000, Seed: 3, LoadFraction: 0.4, WriteFraction: 0.4,
+				JumpRate: 0.02, Locality: 0.5,
+			})
+			s.Run(src) // warm DRAM pages and internal state
+			if avg := testing.AllocsPerRun(3, func() { s.Run(src) }); avg != 0 {
+				t.Errorf("Run allocated %.1f times per 20k-ref run, want 0", avg)
+			}
+		})
+	}
+}
+
+// End-of-run flush: dirty lines left in the cache must be spilled and
+// their traffic accounted, unless the config opts out.
+func TestFinalFlushAccounted(t *testing.T) {
+	run := func(skip bool) Report {
+		cfg := DefaultConfig()
+		cfg.SkipFinalFlush = skip
+		cfg.Engine = fixedEngine{block: 16, writeCost: 5}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Store to distinct lines, nothing evicted: all dirt survives
+		// to the end of the run.
+		tr := &trace.Trace{Name: "dirty", Refs: []trace.Ref{
+			{Kind: trace.Store, Addr: 0x4000_0000, Size: 4},
+			{Kind: trace.Store, Addr: 0x4000_0020, Size: 4},
+			{Kind: trace.Store, Addr: 0x4000_0040, Size: 4},
+		}}
+		return s.Run(tr)
+	}
+	flushed := run(false)
+	skipped := run(true)
+	if flushed.FlushedLines != 3 {
+		t.Errorf("flushed %d lines, want 3", flushed.FlushedLines)
+	}
+	if skipped.FlushedLines != 0 {
+		t.Errorf("SkipFinalFlush still flushed %d lines", skipped.FlushedLines)
+	}
+	if flushed.Cycles <= skipped.Cycles {
+		t.Errorf("flush cycles not folded in: %d <= %d", flushed.Cycles, skipped.Cycles)
+	}
+	if flushed.BusBytes <= skipped.BusBytes {
+		t.Errorf("flush writeback traffic not on the bus: %d <= %d", flushed.BusBytes, skipped.BusBytes)
+	}
+	if flushed.EngineStalls == 0 {
+		t.Error("flush spills paid no engine write cost")
+	}
+}
+
+// Write-through stores must not clobber memory contents: after storing
+// through an installed image, the CPU-side view must still round-trip.
+// (The old granule-aligned path encrypted an all-zeros buffer and wrote
+// it to DRAM.)
+func TestWriteThroughPreservesDRAM(t *testing.T) {
+	// The stateless XOR engine covers the granule-aligned and RMW
+	// timing paths; the AEGIS-style engine (per-line chained CBC with
+	// counter IVs) covers the data-path hazard that motivated the
+	// full-line recipher — a granule-local rewrite under a chained
+	// address-bound mode corrupts the rest of the line.
+	engines := map[string]func() (edu.Engine, error){
+		"xor-1":  func() (edu.Engine, error) { return fixedEngine{block: 1}, nil },
+		"xor-16": func() (edu.Engine, error) { return fixedEngine{block: 16}, nil },
+		"aegis": func() (edu.Engine, error) {
+			return products.AEGIS([]byte("0123456789abcdef"), modes.IVCounter, 0xae915)
+		},
+	}
+	for name, build := range engines {
+		eng, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Cache.WriteMode = cache.WriteThrough
+		cfg.Engine = eng
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := bytes.Repeat([]byte("LIVE DATA MUST SURVIVE STORES..."), 4)
+		if err := s.LoadImage(0x4000_0000, img); err != nil {
+			t.Fatal(err)
+		}
+		// Store hits (after a load allocates) and store misses, at
+		// aligned and unaligned offsets, in sizes above and below the
+		// granule.
+		tr := &trace.Trace{Name: "stores", Refs: []trace.Ref{
+			{Kind: trace.Load, Addr: 0x4000_0000, Size: 4},
+			{Kind: trace.Store, Addr: 0x4000_0000, Size: 4},
+			{Kind: trace.Store, Addr: 0x4000_0013, Size: 1},
+			{Kind: trace.Store, Addr: 0x4000_0040, Size: 8},
+			{Kind: trace.Store, Addr: 0x4000_0061, Size: 1},
+		}}
+		s.Run(tr)
+		if got := s.ReadPlain(0x4000_0000, len(img)); !bytes.Equal(got, img) {
+			t.Errorf("%s: stores corrupted memory:\n got %q\nwant %q", name, got, img)
+		}
+	}
+}
+
+// A streaming source and its materialized trace must drive the SoC to
+// the same report.
+func TestStreamMatchesMaterialized(t *testing.T) {
+	tcfg := trace.Config{Refs: 8000, Seed: 5, LoadFraction: 0.4, WriteFraction: 0.3, JumpRate: 0.03, Locality: 0.6}
+	cfg := DefaultConfig()
+	cfg.Engine = fixedEngine{block: 16, readCost: 9, writeCost: 4}
+
+	sA, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repStream := sA.Run(trace.SequentialSource(tcfg))
+
+	sB, _ := New(cfg)
+	repMat := sB.Run(trace.Sequential(tcfg))
+	if repStream != repMat {
+		t.Errorf("stream report differs from materialized:\n stream %+v\n mater  %+v", repStream, repMat)
 	}
 }
 

@@ -1,0 +1,467 @@
+// Streaming reference sources: the constant-memory form of every
+// workload generator. Each source is a resumable state machine that
+// draws from its RNG in exactly the order the materialized generators
+// historically did, so a drained source and a streamed source are
+// reference-for-reference identical for the same Config. The
+// materialized constructors in trace.go are thin Drain wrappers over
+// these — the stream is the canonical implementation.
+package trace
+
+import "math/rand"
+
+// RefSource is an ordered stream of memory references — the interface
+// the SoC simulator consumes. A source generates references on demand,
+// so a billion-reference workload needs no more memory than its
+// generator state.
+//
+// Sources are single-goroutine objects. Reset rewinds a source to its
+// first reference; sources built from a Config carrying an explicit
+// *rand.Rand are single-pass (the consumed Rand state cannot be
+// rewound) and panic on Reset after use — thread a Seed instead when a
+// source must be replayed (soc.Compare replays).
+type RefSource interface {
+	// Label names the workload in reports.
+	Label() string
+	// Next returns the next reference, or ok=false when the stream is
+	// exhausted.
+	Next() (ref Ref, ok bool)
+	// Reset rewinds the source to the beginning of its stream.
+	Reset()
+}
+
+// Sources is the registry of named streaming workloads, keyed exactly
+// like Generators; the campaign sweeps and the CLIs draw from it so
+// trace length is bounded by hardware speed, not RAM.
+var Sources = map[string]func(Config) RefSource{
+	"sequential":    SequentialSource,
+	"code-only":     CodeOnlySource,
+	"streaming":     StreamingSource,
+	"pointer-chase": PointerChaseSource,
+	"matrix-like":   MatrixLikeSource,
+}
+
+// Drain materializes a source into a Trace (small workloads, tests).
+func Drain(src RefSource) *Trace {
+	t := &Trace{Name: src.Label()}
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return t
+		}
+		t.Refs = append(t.Refs, r)
+	}
+}
+
+// streamBase carries the state every source shares: the resolved RNG,
+// whether it can be rewound, and the emitted-reference count that
+// bounds the stream.
+type streamBase struct {
+	name    string
+	seed    int64
+	started bool
+	rng     *rand.Rand
+	src     rand.Source // seed-derived source, reseeded in place on Reset; nil when rng is an explicit Config.Rand
+	emitted int
+	limit   int
+}
+
+func newStreamBase(name string, cfg *Config) streamBase {
+	b := streamBase{name: name, seed: cfg.Seed, limit: cfg.Refs}
+	if cfg.Rand != nil {
+		b.rng = cfg.Rand
+	} else {
+		b.src = rand.NewSource(cfg.Seed)
+		b.rng = rand.New(b.src)
+	}
+	return b
+}
+
+// Label implements RefSource.
+func (b *streamBase) Label() string { return b.name }
+
+// resetBase rewinds the shared state; it reports whether the caller
+// must also rewind its own generator state (false when the source was
+// never started, so there is nothing to rewind). Reseeding the retained
+// rand.Source keeps Reset allocation-free.
+func (b *streamBase) resetBase() bool {
+	if !b.started {
+		return false
+	}
+	if b.src == nil {
+		panic("trace: a source built from an explicit Config.Rand is single-pass and cannot be Reset; configure Seed instead")
+	}
+	b.src.Seed(b.seed)
+	b.started = false
+	b.emitted = 0
+	return true
+}
+
+// seqSource streams the Sequential workload.
+type seqSource struct {
+	streamBase
+	cfg     Config
+	pc      uint64
+	recent  []uint64
+	pend    Ref
+	hasPend bool
+}
+
+// SequentialSource returns the streaming form of Sequential.
+func SequentialSource(cfg Config) RefSource {
+	cfg.fill()
+	return &seqSource{
+		streamBase: newStreamBase("sequential", &cfg),
+		cfg:        cfg,
+		pc:         cfg.CodeBase,
+		recent:     make([]uint64, 0, 64),
+	}
+}
+
+// CodeOnlySource returns the streaming form of CodeOnly: Sequential
+// with the data knobs forced to zero.
+func CodeOnlySource(cfg Config) RefSource {
+	cfg.LoadFraction = 0
+	cfg.WriteFraction = 0
+	s := SequentialSource(cfg).(*seqSource)
+	s.name = "code-only"
+	return s
+}
+
+// Next implements RefSource.
+func (s *seqSource) Next() (Ref, bool) {
+	if s.hasPend {
+		s.hasPend = false
+		return s.pend, true
+	}
+	if s.emitted >= s.limit {
+		return Ref{}, false
+	}
+	s.started = true
+	r := Ref{Kind: Fetch, Addr: s.pc, Size: 4, Compute: computeGap(s.rng, s.cfg.ComputeMean)}
+	if s.rng.Float64() < s.cfg.JumpRate {
+		s.pc = s.cfg.CodeBase + uint64(s.rng.Int63n(int64(s.cfg.CodeSize)))&^3
+	} else {
+		s.pc += 4
+		if s.pc >= s.cfg.CodeBase+s.cfg.CodeSize {
+			s.pc = s.cfg.CodeBase
+		}
+	}
+	s.emitted++
+	if s.emitted < s.limit && s.rng.Float64() < s.cfg.LoadFraction {
+		var addr uint64
+		if len(s.recent) > 0 && s.rng.Float64() < s.cfg.Locality {
+			addr = s.recent[s.rng.Intn(len(s.recent))]
+		} else {
+			addr = s.cfg.DataBase + uint64(s.rng.Int63n(int64(s.cfg.DataSize)))&^3
+			if len(s.recent) < cap(s.recent) {
+				s.recent = append(s.recent, addr)
+			} else {
+				s.recent[s.rng.Intn(len(s.recent))] = addr
+			}
+		}
+		k := Load
+		if s.rng.Float64() < s.cfg.WriteFraction {
+			k = Store
+		}
+		size := uint8(4)
+		if s.rng.Float64() < 0.25 {
+			size = 1 // byte stores are what trigger worst-case RMW
+		}
+		s.pend = Ref{Kind: k, Addr: addr, Size: size, Compute: computeGap(s.rng, s.cfg.ComputeMean)}
+		s.hasPend = true
+		s.emitted++
+	}
+	return r, true
+}
+
+// Reset implements RefSource.
+func (s *seqSource) Reset() {
+	if !s.resetBase() {
+		return
+	}
+	s.pc = s.cfg.CodeBase
+	s.recent = s.recent[:0]
+	s.hasPend = false
+}
+
+// strideSource streams the Streaming workload.
+type strideSource struct {
+	streamBase
+	cfg     Config
+	pc      uint64
+	addr    uint64
+	pend    Ref
+	hasPend bool
+}
+
+// StreamingSource returns the streaming form of Streaming.
+func StreamingSource(cfg Config) RefSource {
+	cfg.fill()
+	return &strideSource{
+		streamBase: newStreamBase("streaming", &cfg),
+		cfg:        cfg,
+		pc:         cfg.CodeBase,
+		addr:       cfg.DataBase,
+	}
+}
+
+// Next implements RefSource.
+func (s *strideSource) Next() (Ref, bool) {
+	if s.hasPend {
+		s.hasPend = false
+		return s.pend, true
+	}
+	if s.emitted >= s.limit {
+		return Ref{}, false
+	}
+	s.started = true
+	r := Ref{Kind: Fetch, Addr: s.pc, Size: 4, Compute: computeGap(s.rng, s.cfg.ComputeMean)}
+	s.pc += 4
+	if s.pc >= s.cfg.CodeBase+4096 { // a tight copy loop
+		s.pc = s.cfg.CodeBase
+	}
+	s.emitted++
+	if s.emitted < s.limit {
+		k := Load
+		if s.rng.Float64() < s.cfg.WriteFraction {
+			k = Store
+		}
+		s.pend = Ref{Kind: k, Addr: s.addr, Size: 4, Compute: 0}
+		s.hasPend = true
+		s.emitted++
+		s.addr += 4
+		if s.addr >= s.cfg.DataBase+s.cfg.DataSize {
+			s.addr = s.cfg.DataBase
+		}
+	}
+	return r, true
+}
+
+// Reset implements RefSource.
+func (s *strideSource) Reset() {
+	if !s.resetBase() {
+		return
+	}
+	s.pc = s.cfg.CodeBase
+	s.addr = s.cfg.DataBase
+	s.hasPend = false
+}
+
+// chaseSource streams the PointerChase workload.
+type chaseSource struct {
+	streamBase
+	cfg     Config
+	pc      uint64
+	pend    Ref
+	hasPend bool
+}
+
+// PointerChaseSource returns the streaming form of PointerChase.
+func PointerChaseSource(cfg Config) RefSource {
+	cfg.fill()
+	return &chaseSource{
+		streamBase: newStreamBase("pointer-chase", &cfg),
+		cfg:        cfg,
+		pc:         cfg.CodeBase,
+	}
+}
+
+// Next implements RefSource.
+func (s *chaseSource) Next() (Ref, bool) {
+	if s.hasPend {
+		s.hasPend = false
+		return s.pend, true
+	}
+	if s.emitted >= s.limit {
+		return Ref{}, false
+	}
+	s.started = true
+	r := Ref{Kind: Fetch, Addr: s.pc, Size: 4, Compute: computeGap(s.rng, s.cfg.ComputeMean)}
+	s.pc += 4
+	if s.pc >= s.cfg.CodeBase+256 {
+		s.pc = s.cfg.CodeBase
+	}
+	s.emitted++
+	if s.emitted < s.limit {
+		addr := s.cfg.DataBase + uint64(s.rng.Int63n(int64(s.cfg.DataSize)))&^7
+		s.pend = Ref{Kind: Load, Addr: addr, Size: 8, Compute: 0}
+		s.hasPend = true
+		s.emitted++
+	}
+	return r, true
+}
+
+// Reset implements RefSource.
+func (s *chaseSource) Reset() {
+	if !s.resetBase() {
+		return
+	}
+	s.pc = s.cfg.CodeBase
+	s.hasPend = false
+}
+
+// matrixSource streams the MatrixLike workload.
+type matrixSource struct {
+	streamBase
+	cfg      Config
+	pc       uint64
+	row, col int
+	pend     [3]Ref
+	pendN    int
+	pendI    int
+}
+
+// MatrixLikeSource returns the streaming form of MatrixLike.
+func MatrixLikeSource(cfg Config) RefSource {
+	cfg.fill()
+	return &matrixSource{
+		streamBase: newStreamBase("matrix-like", &cfg),
+		cfg:        cfg,
+		pc:         cfg.CodeBase,
+	}
+}
+
+// Next implements RefSource.
+func (s *matrixSource) Next() (Ref, bool) {
+	if s.pendI < s.pendN {
+		r := s.pend[s.pendI]
+		s.pendI++
+		return r, true
+	}
+	if s.emitted >= s.limit {
+		return Ref{}, false
+	}
+	s.started = true
+	const dim = 256 // 256x256 of 8-byte elements
+	r := Ref{Kind: Fetch, Addr: s.pc, Size: 4, Compute: computeGap(s.rng, s.cfg.ComputeMean)}
+	s.pc += 4
+	if s.pc >= s.cfg.CodeBase+2048 {
+		s.pc = s.cfg.CodeBase
+	}
+	s.emitted++
+	if s.emitted >= s.limit {
+		return r, true
+	}
+	// A[row][col] load, B[col][row] load, C[row][col] store pattern.
+	a := s.cfg.DataBase + uint64(s.row*dim+s.col)*8
+	b := s.cfg.DataBase + uint64(dim*dim)*8 + uint64(s.col*dim+s.row)*8
+	cAddr := s.cfg.DataBase + 2*uint64(dim*dim)*8 + uint64(s.row*dim+s.col)*8
+	s.pendI, s.pendN = 0, 0
+	s.pend[s.pendN] = Ref{Kind: Load, Addr: a, Size: 8}
+	s.pendN++
+	s.emitted++
+	if s.emitted < s.limit {
+		s.pend[s.pendN] = Ref{Kind: Load, Addr: b, Size: 8}
+		s.pendN++
+		s.emitted++
+	}
+	if s.emitted < s.limit {
+		s.pend[s.pendN] = Ref{Kind: Store, Addr: cAddr, Size: 8}
+		s.pendN++
+		s.emitted++
+	}
+	s.col++
+	if s.col == dim {
+		s.col = 0
+		s.row = (s.row + 1) % dim
+	}
+	return r, true
+}
+
+// Reset implements RefSource.
+func (s *matrixSource) Reset() {
+	if !s.resetBase() {
+		return
+	}
+	s.pc = s.cfg.CodeBase
+	s.row, s.col = 0, 0
+	s.pendI, s.pendN = 0, 0
+}
+
+// multiSource streams the MultiProcess workload: per-process Sequential
+// substreams advanced lazily a quantum at a time, so the whole workload
+// is O(Procs) state instead of O(Procs x Refs) materialized slices.
+type multiSource struct {
+	cfg      MultiProcessConfig
+	explicit bool
+	started  bool
+	subs     []*seqSource
+	p        int // current process
+	inQuant  int // refs taken from the current process this quantum
+	emitted  int
+}
+
+// MultiProcessSource returns the streaming form of MultiProcess.
+func MultiProcessSource(cfg MultiProcessConfig) RefSource {
+	cfg.fillMP()
+	cfg.Config.fill()
+	m := &multiSource{cfg: cfg, explicit: cfg.Rand != nil}
+	m.subs = make([]*seqSource, cfg.Procs)
+	for p := 0; p < cfg.Procs; p++ {
+		m.subs[p] = m.subSource(p)
+	}
+	return m
+}
+
+// subSource builds process p's confined Sequential substream, seeded
+// exactly as the materialized generator seeds it.
+func (m *multiSource) subSource(p int) *seqSource {
+	sub := m.cfg.Config
+	base, _ := m.cfg.ProcessRegion(p)
+	sub.CodeBase, sub.CodeSize = base, m.cfg.RegionBytes
+	sub.DataBase, sub.DataSize = base+m.cfg.RegionBytes, m.cfg.RegionBytes
+	// Each process gets its own independent source: seed-derived by
+	// default, or drawn from the caller's explicit Rand so the whole
+	// workload is a function of that one source.
+	if m.cfg.Rand != nil {
+		sub.Rand = NewRand(m.cfg.Rand.Int63())
+	} else {
+		sub.Seed = m.cfg.Seed + int64(p)*7919
+	}
+	sub.Refs = m.cfg.Refs // oversize; sliced per quantum
+	return SequentialSource(sub).(*seqSource)
+}
+
+// Label implements RefSource.
+func (m *multiSource) Label() string { return "multi-process" }
+
+// Next implements RefSource.
+func (m *multiSource) Next() (Ref, bool) {
+	if m.emitted >= m.cfg.Refs {
+		return Ref{}, false
+	}
+	m.started = true
+	for rotations := 0; rotations <= len(m.subs); rotations++ {
+		if m.inQuant >= m.cfg.Quantum {
+			m.p = (m.p + 1) % m.cfg.Procs
+			m.inQuant = 0
+		}
+		r, ok := m.subs[m.p].Next()
+		if !ok {
+			// Substream exhausted mid-quantum: the next process starts a
+			// fresh quantum, matching the materialized slicing.
+			m.p = (m.p + 1) % m.cfg.Procs
+			m.inQuant = 0
+			continue
+		}
+		m.inQuant++
+		m.emitted++
+		return r, true
+	}
+	return Ref{}, false // all substreams dry (cannot happen: Procs*Refs >= Refs)
+}
+
+// Reset implements RefSource.
+func (m *multiSource) Reset() {
+	if !m.started {
+		return
+	}
+	if m.explicit {
+		panic("trace: a source built from an explicit Config.Rand is single-pass and cannot be Reset; configure Seed instead")
+	}
+	for p := range m.subs {
+		m.subs[p].Reset()
+	}
+	m.p, m.inQuant, m.emitted = 0, 0, 0
+	m.started = false
+}

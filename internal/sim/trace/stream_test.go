@@ -1,0 +1,135 @@
+package trace
+
+import "testing"
+
+// Every named source must exist in both registries under the same key.
+func TestSourcesAndGeneratorsKeysMatch(t *testing.T) {
+	for name := range Sources {
+		if _, ok := Generators[name]; !ok {
+			t.Errorf("source %q has no materialized generator", name)
+		}
+	}
+	for name := range Generators {
+		if _, ok := Sources[name]; !ok {
+			t.Errorf("generator %q has no streaming source", name)
+		}
+	}
+}
+
+func streamCfg() Config {
+	return Config{
+		Refs: 7000, Seed: 23,
+		LoadFraction: 0.4, WriteFraction: 0.3, JumpRate: 0.05, Locality: 0.6,
+	}
+}
+
+// A source consumed ref-by-ref must equal the drained trace built from
+// the same config — the streaming and materialized forms are the same
+// workload.
+func TestStreamMatchesGenerator(t *testing.T) {
+	for name, mkSource := range Sources {
+		tr := Generators[name](streamCfg())
+		src := mkSource(streamCfg())
+		if src.Label() != tr.Name {
+			t.Errorf("%s: label %q != trace name %q", name, src.Label(), tr.Name)
+		}
+		for i := range tr.Refs {
+			r, ok := src.Next()
+			if !ok {
+				t.Fatalf("%s: source dried up at ref %d of %d", name, i, len(tr.Refs))
+			}
+			if r != tr.Refs[i] {
+				t.Fatalf("%s: ref %d differs: stream %+v trace %+v", name, i, r, tr.Refs[i])
+			}
+		}
+		if _, ok := src.Next(); ok {
+			t.Errorf("%s: source longer than its trace", name)
+		}
+	}
+}
+
+// Reset must replay the exact stream.
+func TestStreamResetReplays(t *testing.T) {
+	for name, mkSource := range Sources {
+		src := mkSource(streamCfg())
+		first := Drain(src)
+		src.Reset()
+		second := Drain(src)
+		if len(first.Refs) != len(second.Refs) {
+			t.Fatalf("%s: replay length %d != %d", name, len(second.Refs), len(first.Refs))
+		}
+		for i := range first.Refs {
+			if first.Refs[i] != second.Refs[i] {
+				t.Fatalf("%s: replay diverged at ref %d", name, i)
+			}
+		}
+	}
+}
+
+// A pristine source tolerates Reset (soc.Run rewinds unconditionally),
+// even when built from an explicit Rand.
+func TestPristineResetIsNoop(t *testing.T) {
+	src := SequentialSource(Config{Refs: 100, Rand: NewRand(5)})
+	src.Reset() // must not panic
+	if tr := Drain(src); len(tr.Refs) != 100 {
+		t.Errorf("got %d refs after pristine reset", len(tr.Refs))
+	}
+}
+
+// A consumed explicit-Rand source cannot be rewound: it must fail loud,
+// not silently produce a different stream.
+func TestExplicitRandSourceSinglePass(t *testing.T) {
+	src := SequentialSource(Config{Refs: 100, Rand: NewRand(5)})
+	Drain(src)
+	defer func() {
+		if recover() == nil {
+			t.Error("Reset of a consumed explicit-Rand source did not panic")
+		}
+	}()
+	src.Reset()
+}
+
+// The multi-process stream must match its materialized form quantum for
+// quantum.
+func TestMultiProcessSourceMatchesTrace(t *testing.T) {
+	cfg := MultiProcessConfig{
+		Config:  Config{Refs: 6000, Seed: 31, LoadFraction: 0.3, WriteFraction: 0.3},
+		Procs:   3,
+		Quantum: 250,
+	}
+	tr := MultiProcess(cfg)
+	src := MultiProcessSource(cfg)
+	for i := range tr.Refs {
+		r, ok := src.Next()
+		if !ok {
+			t.Fatalf("stream dried up at ref %d", i)
+		}
+		if r != tr.Refs[i] {
+			t.Fatalf("ref %d differs: stream %+v trace %+v", i, r, tr.Refs[i])
+		}
+	}
+	src.Reset()
+	if replay := Drain(src); len(replay.Refs) != len(tr.Refs) {
+		t.Fatalf("replay length %d != %d", len(replay.Refs), len(tr.Refs))
+	}
+}
+
+// A *Trace is itself a RefSource: Next walks the slice, Reset rewinds.
+func TestTraceIsARefSource(t *testing.T) {
+	tr := Sequential(Config{Refs: 50, Seed: 2})
+	var src RefSource = tr
+	n := 0
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 50 {
+		t.Fatalf("trace source yielded %d refs, want 50", n)
+	}
+	src.Reset()
+	if r, ok := src.Next(); !ok || r != tr.Refs[0] {
+		t.Error("reset trace source did not replay from the first ref")
+	}
+}

@@ -47,12 +47,34 @@ type Ref struct {
 	Compute uint16 // compute cycles preceding this reference
 }
 
-// Trace is an ordered reference stream plus the address-space split the
-// generators used, which the simulator needs to size memories.
+// Trace is a fully materialized reference stream. It is the thin
+// in-memory adapter over the streaming sources (stream.go): small
+// workloads and tests hold a Trace, while long-running sweeps consume
+// the RefSource a generator config builds directly. A *Trace is itself
+// a RefSource (Label/Next/Reset over the slice), so every simulator
+// entry point accepts either form.
 type Trace struct {
 	Name string
 	Refs []Ref
+
+	pos int // Next cursor
 }
+
+// Label implements RefSource.
+func (t *Trace) Label() string { return t.Name }
+
+// Next implements RefSource.
+func (t *Trace) Next() (Ref, bool) {
+	if t.pos >= len(t.Refs) {
+		return Ref{}, false
+	}
+	r := t.Refs[t.pos]
+	t.pos++
+	return r, true
+}
+
+// Reset implements RefSource: rewinds to the first reference.
+func (t *Trace) Reset() { t.pos = 0 }
 
 // Stats summarizes a trace's composition.
 type Stats struct {
@@ -105,7 +127,9 @@ type Config struct {
 	// callers that need deterministic parallel sharding hand each task
 	// its own *rand.Rand and get byte-identical traces regardless of
 	// scheduling. The source is consumed: do not share one *rand.Rand
-	// across concurrent generator calls.
+	// across concurrent generator calls, and note that a streaming
+	// RefSource built from an explicit Rand is single-pass (it cannot
+	// Reset) — configure Seed when a source must be replayed.
 	Rand *rand.Rand
 	// CodeBase/CodeSize bound the instruction region (bytes).
 	CodeBase, CodeSize uint64
@@ -158,154 +182,29 @@ func (c *Config) rng() *rand.Rand {
 
 // Sequential generates straight-line code with occasional jumps and a
 // configurable mix of data accesses; the general-purpose workload.
-func Sequential(cfg Config) *Trace {
-	cfg.fill()
-	rng := cfg.rng()
-	t := &Trace{Name: "sequential"}
-	pc := cfg.CodeBase
-	recent := make([]uint64, 0, 64)
-	for len(t.Refs) < cfg.Refs {
-		// Instruction fetch (4-byte instructions).
-		t.Refs = append(t.Refs, Ref{Kind: Fetch, Addr: pc, Size: 4, Compute: computeGap(rng, cfg.ComputeMean)})
-		if rng.Float64() < cfg.JumpRate {
-			pc = cfg.CodeBase + uint64(rng.Int63n(int64(cfg.CodeSize)))&^3
-		} else {
-			pc += 4
-			if pc >= cfg.CodeBase+cfg.CodeSize {
-				pc = cfg.CodeBase
-			}
-		}
-		if len(t.Refs) < cfg.Refs && rng.Float64() < cfg.LoadFraction {
-			var addr uint64
-			if len(recent) > 0 && rng.Float64() < cfg.Locality {
-				addr = recent[rng.Intn(len(recent))]
-			} else {
-				addr = cfg.DataBase + uint64(rng.Int63n(int64(cfg.DataSize)))&^3
-				if len(recent) < cap(recent) {
-					recent = append(recent, addr)
-				} else {
-					recent[rng.Intn(len(recent))] = addr
-				}
-			}
-			k := Load
-			if rng.Float64() < cfg.WriteFraction {
-				k = Store
-			}
-			size := uint8(4)
-			if rng.Float64() < 0.25 {
-				size = 1 // byte stores are what trigger worst-case RMW
-			}
-			t.Refs = append(t.Refs, Ref{Kind: k, Addr: addr, Size: size, Compute: computeGap(rng, cfg.ComputeMean)})
-		}
-	}
-	t.Refs = t.Refs[:cfg.Refs]
-	return t
-}
+// Materialized form of SequentialSource.
+func Sequential(cfg Config) *Trace { return Drain(SequentialSource(cfg)) }
 
 // CodeOnly generates a pure instruction-fetch stream (no loads/stores):
 // the static-code workload Gilmont's engine targets — "this work only
-// addresses static code ciphering".
-func CodeOnly(cfg Config) *Trace {
-	cfg.LoadFraction = 0
-	cfg.WriteFraction = 0
-	t := Sequential(cfg)
-	t.Name = "code-only"
-	return t
-}
+// addresses static code ciphering". Materialized form of CodeOnlySource.
+func CodeOnly(cfg Config) *Trace { return Drain(CodeOnlySource(cfg)) }
 
 // Streaming generates long unit-stride data scans (memcpy-like) with
 // sparse control: the friendliest case for prefetch and pipelined
-// deciphering.
-func Streaming(cfg Config) *Trace {
-	cfg.fill()
-	rng := cfg.rng()
-	t := &Trace{Name: "streaming"}
-	pc := cfg.CodeBase
-	addr := cfg.DataBase
-	for len(t.Refs) < cfg.Refs {
-		t.Refs = append(t.Refs, Ref{Kind: Fetch, Addr: pc, Size: 4, Compute: computeGap(rng, cfg.ComputeMean)})
-		pc += 4
-		if pc >= cfg.CodeBase+4096 { // a tight copy loop
-			pc = cfg.CodeBase
-		}
-		if len(t.Refs) < cfg.Refs {
-			k := Load
-			if rng.Float64() < cfg.WriteFraction {
-				k = Store
-			}
-			t.Refs = append(t.Refs, Ref{Kind: k, Addr: addr, Size: 4, Compute: 0})
-			addr += 4
-			if addr >= cfg.DataBase+cfg.DataSize {
-				addr = cfg.DataBase
-			}
-		}
-	}
-	t.Refs = t.Refs[:cfg.Refs]
-	return t
-}
+// deciphering. Materialized form of StreamingSource.
+func Streaming(cfg Config) *Trace { return Drain(StreamingSource(cfg)) }
 
 // PointerChase generates dependent random loads (linked-list traversal):
 // the workload with no latency-hiding opportunity, worst case for any
-// deciphering latency on the miss path.
-func PointerChase(cfg Config) *Trace {
-	cfg.fill()
-	rng := cfg.rng()
-	t := &Trace{Name: "pointer-chase"}
-	pc := cfg.CodeBase
-	for len(t.Refs) < cfg.Refs {
-		t.Refs = append(t.Refs, Ref{Kind: Fetch, Addr: pc, Size: 4, Compute: computeGap(rng, cfg.ComputeMean)})
-		pc += 4
-		if pc >= cfg.CodeBase+256 {
-			pc = cfg.CodeBase
-		}
-		if len(t.Refs) < cfg.Refs {
-			addr := cfg.DataBase + uint64(rng.Int63n(int64(cfg.DataSize)))&^7
-			t.Refs = append(t.Refs, Ref{Kind: Load, Addr: addr, Size: 8, Compute: 0})
-		}
-	}
-	t.Refs = t.Refs[:cfg.Refs]
-	return t
-}
+// deciphering latency on the miss path. Materialized form of
+// PointerChaseSource.
+func PointerChase(cfg Config) *Trace { return Drain(PointerChaseSource(cfg)) }
 
 // MatrixLike generates blocked row/column sweeps over a square matrix
 // region: moderate locality, balanced loads and stores — the numeric
-// kernel stand-in.
-func MatrixLike(cfg Config) *Trace {
-	cfg.fill()
-	rng := cfg.rng()
-	t := &Trace{Name: "matrix-like"}
-	const dim = 256 // 256x256 of 8-byte elements
-	row, col := 0, 0
-	pc := cfg.CodeBase
-	for len(t.Refs) < cfg.Refs {
-		t.Refs = append(t.Refs, Ref{Kind: Fetch, Addr: pc, Size: 4, Compute: computeGap(rng, cfg.ComputeMean)})
-		pc += 4
-		if pc >= cfg.CodeBase+2048 {
-			pc = cfg.CodeBase
-		}
-		if len(t.Refs) >= cfg.Refs {
-			break
-		}
-		// A[row][col] load, B[col][row] load, C[row][col] store pattern.
-		a := cfg.DataBase + uint64(row*dim+col)*8
-		b := cfg.DataBase + uint64(dim*dim)*8 + uint64(col*dim+row)*8
-		cAddr := cfg.DataBase + 2*uint64(dim*dim)*8 + uint64(row*dim+col)*8
-		t.Refs = append(t.Refs, Ref{Kind: Load, Addr: a, Size: 8})
-		if len(t.Refs) < cfg.Refs {
-			t.Refs = append(t.Refs, Ref{Kind: Load, Addr: b, Size: 8})
-		}
-		if len(t.Refs) < cfg.Refs {
-			t.Refs = append(t.Refs, Ref{Kind: Store, Addr: cAddr, Size: 8})
-		}
-		col++
-		if col == dim {
-			col = 0
-			row = (row + 1) % dim
-		}
-	}
-	t.Refs = t.Refs[:cfg.Refs]
-	return t
-}
+// kernel stand-in. Materialized form of MatrixLikeSource.
+func MatrixLike(cfg Config) *Trace { return Drain(MatrixLikeSource(cfg)) }
 
 // computeGap draws a small geometric-ish compute gap around mean.
 func computeGap(rng *rand.Rand, mean int) uint16 {
@@ -316,8 +215,9 @@ func computeGap(rng *rand.Rand, mean int) uint16 {
 	return uint16(g)
 }
 
-// Generators is the registry of named workloads the experiment harness
-// sweeps; the map value builds a trace from a config.
+// Generators is the registry of named materialized workloads, keyed
+// exactly like Sources; the map value builds a trace from a config.
+// Long sweeps should prefer Sources: same references, O(1) memory.
 var Generators = map[string]func(Config) *Trace{
 	"sequential":    Sequential,
 	"code-only":     CodeOnly,
@@ -365,46 +265,6 @@ func (c *MultiProcessConfig) fillMP() {
 	}
 }
 
-// MultiProcess builds the workload.
-func MultiProcess(cfg MultiProcessConfig) *Trace {
-	cfg.fillMP()
-	cfg.Config.fill()
-	out := &Trace{Name: "multi-process"}
-	// One generator per process, advanced a quantum at a time. Each is
-	// its own Sequential stream confined to the process's regions.
-	streams := make([][]Ref, cfg.Procs)
-	for p := 0; p < cfg.Procs; p++ {
-		sub := cfg.Config
-		base, _ := cfg.ProcessRegion(p)
-		sub.CodeBase, sub.CodeSize = base, cfg.RegionBytes
-		sub.DataBase, sub.DataSize = base+cfg.RegionBytes, cfg.RegionBytes
-		// Each process gets its own independent source: seed-derived by
-		// default, or drawn from the caller's explicit Rand so the whole
-		// workload is a function of that one source.
-		if cfg.Rand != nil {
-			sub.Rand = NewRand(cfg.Rand.Int63())
-		} else {
-			sub.Seed = cfg.Seed + int64(p)*7919
-		}
-		sub.Refs = cfg.Refs // oversize; sliced per quantum below
-		streams[p] = Sequential(sub).Refs
-	}
-	cursor := make([]int, cfg.Procs)
-	p := 0
-	for len(out.Refs) < cfg.Refs {
-		take := cfg.Quantum
-		if remain := cfg.Refs - len(out.Refs); take > remain {
-			take = remain
-		}
-		cur := cursor[p]
-		end := cur + take
-		if end > len(streams[p]) {
-			end = len(streams[p])
-		}
-		out.Refs = append(out.Refs, streams[p][cur:end]...)
-		cursor[p] = end
-		p = (p + 1) % cfg.Procs
-	}
-	out.Refs = out.Refs[:cfg.Refs]
-	return out
-}
+// MultiProcess builds the workload. Materialized form of
+// MultiProcessSource.
+func MultiProcess(cfg MultiProcessConfig) *Trace { return Drain(MultiProcessSource(cfg)) }
