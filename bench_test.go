@@ -1,5 +1,5 @@
 // Package repro's root bench file regenerates every quantitative claim
-// of the survey (DESIGN.md's experiment index E1–E19): run
+// of the survey (DESIGN.md's experiment index E1–E21): run
 //
 //	go test -bench=. -benchmem
 //
@@ -61,8 +61,10 @@ func BenchmarkE16VlsiDma(b *testing.B)             { runExperiment(b, "E16", ben
 func BenchmarkE17Integrity(b *testing.B)           { runExperiment(b, "E17", benchRefs) }
 func BenchmarkE18Ablations(b *testing.B)           { runExperiment(b, "E18", benchRefs) }
 func BenchmarkE19KeyManagement(b *testing.B)       { runExperiment(b, "E19", benchRefs) }
+func BenchmarkE20AuthTrees(b *testing.B)           { runExperiment(b, "E20", benchRefs) }
+func BenchmarkE21AttackSweep(b *testing.B)         { runExperiment(b, "E21", benchRefs) }
 
-// suiteBench runs the full E1–E19 suite at a fixed worker count; the
+// suiteBench runs the full E1–E21 suite at a fixed worker count; the
 // Sequential/Parallel pair measures the scheduler's wall-clock win.
 func suiteBench(b *testing.B, jobs int) {
 	b.Helper()
@@ -119,3 +121,34 @@ func hotLoopBench(b *testing.B, engineKey string) {
 
 func BenchmarkHotLoopPlaintext(b *testing.B) { hotLoopBench(b, "") }
 func BenchmarkHotLoopAegis(b *testing.B)     { hotLoopBench(b, "aegis") }
+
+// BenchmarkAuthTreeVerifiedRun drives a fixed 20k-reference firmware
+// workload through an XOM system with a counter-tree authenticator,
+// warmed before the timer starts, so allocs/op is the allocation count
+// of a whole steady-state verified run — the CI bench smoke asserts it
+// prints "0 allocs/op" (the hard per-path assertion lives in
+// soc.TestVerifiedMissZeroAllocs).
+func BenchmarkAuthTreeVerifiedRun(b *testing.B) {
+	eng, err := core.MustEntry("xom").Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := soc.DefaultConfig()
+	cfg.Engine = eng
+	if cfg.Verifier, err = core.BuildAuthenticator("ctree", cfg.Cache.LineSize); err != nil {
+		b.Fatal(err)
+	}
+	s, err := soc.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	profile, _ := core.WorkloadProfile("firmware", 20000)
+	profile.Seed = 7
+	src := trace.FirmwareSource(profile)
+	s.Run(src) // warm tag stores, node cache, DRAM pages
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(src)
+	}
+}

@@ -2,19 +2,45 @@
 // model: bus probing of an unprotected system, ECB pattern analysis,
 // Kuhn's cipher instruction search against the DS5002FP model, IV
 // rewrite leakage, and the brute-force lifetime table.
+//
+// With -engine, it instead runs the three active attacks — spoofing,
+// splicing, replay — against any registered engine, optionally paired
+// with a registered authenticator, and prints the TamperOutcome table:
+//
+//	attacklab -engine xom            # confidentiality only: all accepted
+//	attacklab -engine xom+flat-mac   # spoof/splice blocked, replay accepted
+//	attacklab -engine aegis+tree     # all three fail-stop
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single experiment: e4, e9, e13 or e15 (default: all)")
+	engine := flag.String("engine", "", "tamper-test one engine[+authenticator] combination, e.g. xom, aegis+tree (authenticators: "+strings.Join(core.AuthKeys(), ", ")+")")
 	flag.Parse()
+
+	if *engine != "" {
+		if *only != "" {
+			// Same convention as sweep's -suite: conflicting modes are
+			// an error, not a silent preference.
+			fmt.Fprintln(os.Stderr, "attacklab: -engine runs the tamper table only; drop -only")
+			os.Exit(1)
+		}
+		tbl, err := core.TamperTable(*engine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "attacklab:", err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl)
+		return
+	}
 
 	type step struct {
 		key string

@@ -10,7 +10,9 @@
 //	sweep -jobs 8
 //	sweep -engines aegis,xom,gi -workloads sequential,pointer-chase
 //	sweep -cache 4K,16K,64K -line 16,32,64 -refs 30000 -format csv
-//	sweep -suite -jobs 4            # run the E1-E19 suite instead
+//	sweep -authtree none,tree,ctree -engines xom      # authentication axis
+//	sweep -authtree tree -attack 1,4,16 -format csv   # active-adversary sweep
+//	sweep -suite -jobs 4            # run the E1-E21 suite instead
 //
 // Output is deterministic: a -jobs 8 run emits bytes identical to a
 // -jobs 1 run (per-task RNG sharding; see internal/campaign).
@@ -41,9 +43,11 @@ func main() {
 	cacheSizes := flag.String("cache", "", "cache sizes in bytes, K/M suffixes ok (default: 16K)")
 	lineSizes := flag.String("line", "", "cache line sizes in bytes (default: 32)")
 	busWidths := flag.String("bus", "", "bus widths in bytes (default: 4)")
+	auths := flag.String("authtree", "", fmt.Sprintf("authenticator keys to sweep: %s (default: none)", strings.Join(core.AuthKeys(), ",")))
+	attacks := flag.String("attack", "", "active-adversary strike rates in tampers per 10k refs (default: 0)")
 	jobs := flag.Int("jobs", campaign.DefaultJobs(), "worker pool size")
 	format := flag.String("format", "table", "output format: table, csv or json")
-	suite := flag.Bool("suite", false, "run the E1-E19 experiment suite through the pool instead of a grid")
+	suite := flag.Bool("suite", false, "run the E1-E21 experiment suite through the pool instead of a grid")
 	experiments := flag.String("experiments", "", "experiment ids for -suite, e.g. E1,E6,E17 (default: all)")
 	suiteRefs := flag.Int("suite-refs", core.DefaultRefs, "trace length for -suite experiments")
 	quiet := flag.Bool("q", false, "suppress the stderr progress line")
@@ -54,8 +58,9 @@ func main() {
 		// structured emitters do not apply, and silently ignoring them
 		// would mislead scripted callers.
 		if *engines != "" || *workloads != "" || *refsList != "" ||
-			*cacheSizes != "" || *lineSizes != "" || *busWidths != "" {
-			fatal(fmt.Errorf("-suite ignores grid axes; drop -engines/-workloads/-refs/-cache/-line/-bus (use -experiments and -suite-refs)"))
+			*cacheSizes != "" || *lineSizes != "" || *busWidths != "" ||
+			*auths != "" || *attacks != "" {
+			fatal(fmt.Errorf("-suite ignores grid axes; drop -engines/-workloads/-refs/-cache/-line/-bus/-authtree/-attack (use -experiments and -suite-refs)"))
 		}
 		if *format != "table" {
 			fatal(fmt.Errorf("-suite emits experiment tables only; -format %s is not supported", *format))
@@ -79,8 +84,12 @@ func main() {
 	spec := campaign.Spec{
 		Engines:   campaign.ParseList(*engines),
 		Workloads: campaign.ParseList(*workloads),
+		Auths:     campaign.ParseList(*auths),
 	}
 	var err error
+	if spec.AttackRates, err = campaign.ParseFloatList(*attacks); err != nil {
+		fatal(err)
+	}
 	if spec.Refs, err = campaign.ParseIntList(*refsList); err != nil {
 		fatal(err)
 	}

@@ -53,7 +53,7 @@ func Splice(s *soc.SoC, srcAddr, dstAddr uint64, n int) TamperOutcome {
 	// A thorough attacker relocates the authentication tag too (it lives
 	// in external memory with the data); the MAC's address binding is
 	// what must stop the splice, not tag absence.
-	if ts, ok := s.Engine().(tagStore); ok {
+	if ts := tamperTagStore(s); ts != nil {
 		if tag, had := ts.TagAt(srcAddr); had {
 			ts.TamperTag(dstAddr, tag)
 		}
@@ -70,8 +70,9 @@ func Splice(s *soc.SoC, srcAddr, dstAddr uint64, n int) TamperOutcome {
 	}
 }
 
-// tagStore is implemented by authenticated engines whose tag memory is
-// external (attacker-readable and -writable), e.g. edu/integrity.
+// tagStore is implemented by authenticators whose tag memory is
+// external (attacker-readable and -writable): the edu/integrity engine
+// wrapper and the sim/authtree verifiers.
 type tagStore interface {
 	TagAt(addr uint64) ([8]byte, bool)
 	TamperTag(addr uint64, tag [8]byte)
@@ -89,7 +90,8 @@ func Replay(s *soc.SoC, addr uint64, n int, mutate func()) TamperOutcome {
 	snapshot := s.DRAM().Dump(addr, n)
 	var staleTag [8]byte
 	var hadTag bool
-	ts, hasStore := s.Engine().(tagStore)
+	ts := tamperTagStore(s)
+	hasStore := ts != nil
 	if hasStore {
 		staleTag, hadTag = ts.TagAt(addr)
 	}

@@ -26,11 +26,17 @@ func Summarize(results []Result) []SummaryRow {
 	byEngine := make(map[string]*SummaryRow)
 	var order []string
 	for _, res := range results {
-		row, ok := byEngine[res.Engine]
+		// The grouping unit is the protection configuration: an engine
+		// plus its authenticator ("xom+tree") is a different design
+		// point than the bare engine, with its own cost and area.
+		label := res.EngineLabel()
+		row, ok := byEngine[label]
 		if !ok {
-			row = &SummaryRow{Engine: res.Engine, EngineName: res.EngineName}
-			byEngine[res.Engine] = row
-			order = append(order, res.Engine)
+			// EngineName is filled from the first successful result
+			// below (failed results carry an empty name).
+			row = &SummaryRow{Engine: label}
+			byEngine[label] = row
+			order = append(order, label)
 		}
 		if res.Err != "" {
 			row.Failed++
@@ -38,8 +44,17 @@ func Summarize(results []Result) []SummaryRow {
 		}
 		if row.EngineName == "" {
 			row.EngineName = res.EngineName
+			if res.Auth != "" && res.Auth != "none" {
+				row.EngineName = res.EngineName + "+" + res.Auth
+			}
 		}
-		row.Gates = res.Gates
+		// Engine gates are constant per engine, but AuthGates can vary
+		// across a group's geometry points (the flat counter table
+		// scales with line size): report the group's worst-case
+		// on-chip area rather than whichever point iterated last.
+		if g := res.Gates + res.AuthGates; g > row.Gates {
+			row.Gates = g
+		}
 		if row.Points == 0 || res.Overhead < row.MinOverhead {
 			row.MinOverhead = res.Overhead
 		}

@@ -3,6 +3,7 @@ package campaign
 import (
 	"fmt"
 
+	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/edu"
 	"repro/internal/sim/soc"
@@ -21,7 +22,22 @@ type Result struct {
 	Overhead     float64 `json:"overhead"`
 	EngineStalls uint64  `json:"engine_stalls"`
 	RMWEvents    uint64  `json:"rmw_events"`
-	Err          string  `json:"err,omitempty"`
+	// AuthGates is the authenticator's on-chip area (0 for auth=none);
+	// AuthStalls its share of the stall cycles.
+	AuthGates  int    `json:"auth_gates,omitempty"`
+	AuthStalls uint64 `json:"auth_stalls,omitempty"`
+	// Violations counts fail-stop events during the run — every failed
+	// verification, so an unrepaired line re-counts on each refill (see
+	// soc.Report.AuthViolations). Under an attack schedule,
+	// Injected/Detected/DetectionRate/MeanDetectLatency describe the
+	// adversary's campaign in distinct tampers (latency in references
+	// from injection to the first fail-stop event at that line).
+	Violations        uint64  `json:"violations,omitempty"`
+	Injected          uint64  `json:"injected,omitempty"`
+	Detected          uint64  `json:"detected,omitempty"`
+	DetectionRate     float64 `json:"detection_rate,omitempty"`
+	MeanDetectLatency float64 `json:"mean_detect_latency,omitempty"`
+	Err               string  `json:"err,omitempty"`
 }
 
 // Report is a finished campaign: results in expansion order plus the
@@ -131,6 +147,25 @@ func (r *Runner) runTask(cfg TaskConfig) Result {
 	}
 	ecfg := sc
 	ecfg.Engine = eng
+	ver, err := core.BuildAuthenticator(cfg.Auth, cfg.LineSize)
+	if err != nil {
+		return fail(err)
+	}
+	ecfg.Verifier = ver
+	var sched *attack.Schedule
+	if cfg.AttackRate > 0 {
+		// The adversary's seed derives from the protection-independent
+		// point key (plus a domain constant), so every engine and
+		// authenticator at a grid point faces the same strike plan —
+		// and a -jobs 8 sweep stays byte-identical to -jobs 1.
+		sched = attack.NewSchedule(attack.ScheduleConfig{
+			Seed:      int64(hashString("attack "+cfg.PointKey()) & (1<<63 - 1)),
+			PerTenK:   cfg.AttackRate,
+			LineBytes: cfg.LineSize,
+		})
+		ecfg.Intruder = sched
+		ecfg.OnViolation = sched.OnViolation
+	}
 	s, err := soc.New(ecfg)
 	if err != nil {
 		return fail(err)
@@ -152,6 +187,17 @@ func (r *Runner) runTask(cfg TaskConfig) Result {
 	res.Overhead = with.OverheadVs(base)
 	res.EngineStalls = with.EngineStalls
 	res.RMWEvents = with.RMWEvents
+	if ver != nil {
+		res.AuthGates = ver.Gates()
+		res.AuthStalls = with.AuthStalls
+		res.Violations = with.AuthViolations
+	}
+	if sched != nil {
+		res.Injected = sched.Injected
+		res.Detected = sched.Detected
+		res.DetectionRate = sched.DetectionRate()
+		res.MeanDetectLatency = sched.MeanLatency()
+	}
 	return res
 }
 

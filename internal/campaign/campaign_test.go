@@ -168,3 +168,67 @@ func mustRun(t *testing.T, spec Spec, jobs int) *Report {
 	}
 	return rep
 }
+
+// The determinism contract must survive the active-adversary axis: the
+// attack schedule is seed-derived per point, so a -jobs 8 sweep with
+// authenticators and strikes enabled emits bytes identical to -jobs 1.
+func TestSweepDeterminismWithAttacks(t *testing.T) {
+	spec := func() Spec {
+		return Spec{
+			Engines:     []string{"aegis", "xom"},
+			Workloads:   []string{"firmware"},
+			Refs:        []int{8000},
+			Auths:       []string{"none", "flat-mac", "tree", "ctree"},
+			AttackRates: []float64{0, 8},
+		}
+	}
+	emitAll := func(jobs int) map[string]string {
+		rep, err := Sweep(spec(), jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string)
+		for _, format := range Formats {
+			var buf bytes.Buffer
+			if err := Emit(&buf, rep, format); err != nil {
+				t.Fatalf("emit %s: %v", format, err)
+			}
+			out[format] = buf.String()
+		}
+		return out
+	}
+	seq := emitAll(1)
+	par := emitAll(8)
+	for _, format := range Formats {
+		if seq[format] != par[format] {
+			t.Errorf("%s output differs between jobs=1 and jobs=8 with attacks enabled:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s",
+				format, seq[format], par[format])
+		}
+	}
+
+	rep := mustRun(t, spec(), 8)
+	var sawDetection, sawAuthStall bool
+	for _, res := range rep.Results {
+		if res.Err != "" {
+			t.Errorf("point %s failed: %s", res.Key(), res.Err)
+		}
+		if res.Auth == "none" && (res.Violations != 0 || res.Detected != 0) {
+			t.Errorf("auth=none point %s reports detections", res.Key())
+		}
+		if res.AttackRate == 0 && res.Injected != 0 {
+			t.Errorf("rate=0 point %s reports injections", res.Key())
+		}
+		if res.Detected > 0 {
+			sawDetection = true
+		}
+		if res.Auth != "none" && res.AuthStalls > 0 {
+			sawAuthStall = true
+		}
+	}
+	if !sawDetection {
+		t.Error("no grid point detected any tamper; the attack axis is not exercising detection")
+	}
+	if !sawAuthStall {
+		t.Error("no authenticated point charged verifier cycles")
+	}
+}

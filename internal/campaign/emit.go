@@ -41,19 +41,25 @@ func EmitJSON(w io.Writer, rep *Report) error {
 func EmitCSV(w io.Writer, rep *Report) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"engine", "workload", "refs", "cache_size", "line_size", "bus_width",
-		"gates", "base_cycles", "cycles", "overhead", "engine_stalls", "rmw_events", "err",
+		"engine", "auth", "attack_rate", "workload", "refs", "cache_size", "line_size", "bus_width",
+		"gates", "auth_gates", "base_cycles", "cycles", "overhead", "engine_stalls", "auth_stalls",
+		"rmw_events", "violations", "injected", "detected", "detection_rate", "mean_detect_latency", "err",
 	}); err != nil {
 		return err
 	}
 	for _, r := range rep.Results {
 		row := []string{
-			r.Engine, r.Workload, strconv.Itoa(r.Refs),
+			r.Engine, r.Auth, strconv.FormatFloat(r.AttackRate, 'g', -1, 64),
+			r.Workload, strconv.Itoa(r.Refs),
 			strconv.Itoa(r.CacheSize), strconv.Itoa(r.LineSize), strconv.Itoa(r.BusWidth),
-			strconv.Itoa(r.Gates),
+			strconv.Itoa(r.Gates), strconv.Itoa(r.AuthGates),
 			strconv.FormatUint(r.BaseCycles, 10), strconv.FormatUint(r.Cycles, 10),
 			strconv.FormatFloat(r.Overhead, 'f', 6, 64),
-			strconv.FormatUint(r.EngineStalls, 10), strconv.FormatUint(r.RMWEvents, 10),
+			strconv.FormatUint(r.EngineStalls, 10), strconv.FormatUint(r.AuthStalls, 10),
+			strconv.FormatUint(r.RMWEvents, 10), strconv.FormatUint(r.Violations, 10),
+			strconv.FormatUint(r.Injected, 10), strconv.FormatUint(r.Detected, 10),
+			strconv.FormatFloat(r.DetectionRate, 'f', 4, 64),
+			strconv.FormatFloat(r.MeanDetectLatency, 'f', 1, 64),
 			r.Err,
 		}
 		if err := cw.Write(row); err != nil {
@@ -68,10 +74,24 @@ func EmitCSV(w io.Writer, rep *Report) error {
 // by the ranked summary, in the same aligned-table style as the
 // experiment suite.
 func EmitTable(w io.Writer, rep *Report) error {
+	// The adversary columns only earn their width when the sweep
+	// actually has an auth/attack axis.
+	hasAuth := false
+	for _, r := range rep.Results {
+		if (r.Auth != "" && r.Auth != "none") || r.AttackRate > 0 {
+			hasAuth = true
+			break
+		}
+	}
+	header := []string{"engine", "workload", "refs", "cache", "line", "bus", "overhead", "rmw", "status"}
+	if hasAuth {
+		header = []string{"engine", "auth", "atk", "workload", "refs", "cache", "line", "bus",
+			"overhead", "rmw", "det", "lat", "status"}
+	}
 	grid := &core.Table{
 		ID:     "SWEEP",
 		Title:  fmt.Sprintf("campaign grid (%d points)", len(rep.Results)),
-		Header: []string{"engine", "workload", "refs", "cache", "line", "bus", "overhead", "rmw", "status"},
+		Header: header,
 	}
 	for _, r := range rep.Results {
 		status := "ok"
@@ -80,9 +100,22 @@ func EmitTable(w io.Writer, rep *Report) error {
 			status = r.Err
 			overhead = "-"
 		}
-		grid.AddRow(r.Engine, r.Workload, r.Refs,
+		if !hasAuth {
+			grid.AddRow(r.Engine, r.Workload, r.Refs,
+				sizeCell(r.CacheSize), r.LineSize, r.BusWidth,
+				overhead, r.RMWEvents, status)
+			continue
+		}
+		det, lat := "-", "-"
+		if r.AttackRate > 0 && r.Err == "" {
+			det = fmt.Sprintf("%d/%d", r.Detected, r.Injected)
+			if r.Detected > 0 {
+				lat = fmt.Sprintf("%.0f", r.MeanDetectLatency)
+			}
+		}
+		grid.AddRow(r.Engine, r.Auth, r.AttackRate, r.Workload, r.Refs,
 			sizeCell(r.CacheSize), r.LineSize, r.BusWidth,
-			overhead, r.RMWEvents, status)
+			overhead, r.RMWEvents, det, lat, status)
 	}
 	if _, err := fmt.Fprintln(w, grid); err != nil {
 		return err

@@ -12,24 +12,46 @@ import (
 // overhead measurement. It is a value type — two equal configs are the
 // same experiment and hash to the same key.
 type TaskConfig struct {
-	Engine    string `json:"engine"`
-	Workload  string `json:"workload"`
-	Refs      int    `json:"refs"`
-	CacheSize int    `json:"cache_size"`
-	LineSize  int    `json:"line_size"`
-	BusWidth  int    `json:"bus_width"`
+	Engine string `json:"engine"`
+	// Auth is the authenticator key ("none" for no verification).
+	Auth string `json:"auth"`
+	// AttackRate is the active-adversary strike rate in tampers per
+	// 10,000 references (0 = no adversary).
+	AttackRate float64 `json:"attack_rate"`
+	Workload   string  `json:"workload"`
+	Refs       int     `json:"refs"`
+	CacheSize  int     `json:"cache_size"`
+	LineSize   int     `json:"line_size"`
+	BusWidth   int     `json:"bus_width"`
 }
 
 // Key is the canonical string identity of the config; every cache key
 // and seed derivation goes through it so identity has one definition.
+// An unset Auth normalizes to "none": the two spell the same system.
 func (c TaskConfig) Key() string {
-	return fmt.Sprintf("engine=%s %s", c.Engine, c.PointKey())
+	auth := c.Auth
+	if auth == "" {
+		auth = "none"
+	}
+	return fmt.Sprintf("engine=%s auth=%s attack=%g %s", c.Engine, auth, c.AttackRate, c.PointKey())
 }
 
-// PointKey identifies the engine-independent grid point: the workload,
-// trace length, and system geometry. All engines at one point share a
-// trace (seeded from this key) and a plaintext baseline (cached under
-// it), which is what makes baseline caching sound.
+// EngineLabel is the composite protection identity ("xom+tree"), the
+// unit the ranked summary groups by — an authenticated system is a
+// different design point than its bare engine.
+func (c TaskConfig) EngineLabel() string {
+	if c.Auth == "" || c.Auth == "none" {
+		return c.Engine
+	}
+	return c.Engine + "+" + c.Auth
+}
+
+// PointKey identifies the protection-independent grid point: the
+// workload, trace length, and system geometry — excluding the engine,
+// the authenticator AND the attack rate. All protection configurations
+// at one point share a trace (seeded from this key) and a plaintext
+// baseline (cached under it), which is what makes baseline caching
+// sound and the overhead columns comparable.
 func (c TaskConfig) PointKey() string {
 	return fmt.Sprintf("workload=%s refs=%d cache=%d line=%d bus=%d",
 		c.Workload, c.Refs, c.CacheSize, c.LineSize, c.BusWidth)
@@ -67,18 +89,23 @@ func (s *Spec) Expand() []Task {
 	s.Fill()
 	tasks := make([]Task, 0, s.Size())
 	for _, eng := range s.Engines {
-		for _, wl := range s.Workloads {
-			for _, refs := range s.Refs {
-				for _, cs := range s.CacheSizes {
-					for _, ls := range s.LineSizes {
-						for _, bw := range s.BusWidths {
-							tasks = append(tasks, Task{
-								Index: len(tasks),
-								Cfg: TaskConfig{
-									Engine: eng, Workload: wl, Refs: refs,
-									CacheSize: cs, LineSize: ls, BusWidth: bw,
-								},
-							})
+		for _, auth := range s.Auths {
+			for _, atk := range s.AttackRates {
+				for _, wl := range s.Workloads {
+					for _, refs := range s.Refs {
+						for _, cs := range s.CacheSizes {
+							for _, ls := range s.LineSizes {
+								for _, bw := range s.BusWidths {
+									tasks = append(tasks, Task{
+										Index: len(tasks),
+										Cfg: TaskConfig{
+											Engine: eng, Auth: auth, AttackRate: atk,
+											Workload: wl, Refs: refs,
+											CacheSize: cs, LineSize: ls, BusWidth: bw,
+										},
+									})
+								}
+							}
 						}
 					}
 				}

@@ -15,6 +15,7 @@ package campaign
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -40,6 +41,16 @@ type Spec struct {
 	LineSizes []int `json:"line_sizes"`
 	// BusWidths are external bus widths in bytes; default {4}.
 	BusWidths []int `json:"bus_widths"`
+	// Auths are authenticator keys (core.Authenticators: none,
+	// flat-mac, flat-fresh, tree, ctree); default {"none"}. Every
+	// authenticator composes with every engine — a separate axis, not
+	// an engine variant.
+	Auths []string `json:"auths"`
+	// AttackRates are active-adversary strike rates in tampers per
+	// 10,000 references (internal/attack.Schedule); default {0} (no
+	// adversary). Nonzero rates populate the detection-rate and
+	// detection-latency columns.
+	AttackRates []float64 `json:"attack_rates"`
 }
 
 // Fill applies defaults to empty axes.
@@ -63,6 +74,12 @@ func (s *Spec) Fill() {
 	}
 	if len(s.BusWidths) == 0 {
 		s.BusWidths = []int{4}
+	}
+	if len(s.Auths) == 0 {
+		s.Auths = []string{"none"}
+	}
+	if len(s.AttackRates) == 0 {
+		s.AttackRates = []float64{0}
 	}
 }
 
@@ -101,13 +118,24 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("campaign: non-positive bus width %d", v)
 		}
 	}
+	for _, a := range s.Auths {
+		if _, err := core.AuthEntryFor(a); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+	}
+	for _, r := range s.AttackRates {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("campaign: attack rate %g is not a non-negative finite number", r)
+		}
+	}
 	return nil
 }
 
 // Size returns the number of tasks the grid expands to.
 func (s *Spec) Size() int {
 	s.Fill()
-	return len(s.Engines) * len(s.Workloads) * len(s.Refs) *
+	return len(s.Engines) * len(s.Auths) * len(s.AttackRates) *
+		len(s.Workloads) * len(s.Refs) *
 		len(s.CacheSizes) * len(s.LineSizes) * len(s.BusWidths)
 }
 
@@ -154,6 +182,19 @@ func ParseIntList(s string) ([]int, error) {
 			return nil, fmt.Errorf("campaign: bad integer %q in list", item)
 		}
 		out = append(out, n*mult)
+	}
+	return out, nil
+}
+
+// ParseFloatList is ParseList for float axes (attack rates).
+func ParseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, item := range ParseList(s) {
+		f, err := strconv.ParseFloat(item, 64)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: bad number %q in list", item)
+		}
+		out = append(out, f)
 	}
 	return out, nil
 }

@@ -13,7 +13,7 @@ func TestSpecDefaultsAndSize(t *testing.T) {
 	if len(s.Engines) != 8 {
 		t.Errorf("default engines = %d, want all 8 surveyed", len(s.Engines))
 	}
-	if len(s.Workloads) != 5 {
+	if len(s.Workloads) != 6 {
 		t.Errorf("default workloads = %d, want every registered generator", len(s.Workloads))
 	}
 	if got := s.Size(); got != len(s.Engines)*len(s.Workloads) {
@@ -29,6 +29,8 @@ func TestSpecValidateRejectsTypos(t *testing.T) {
 		{CacheSizes: []int{0}},
 		{LineSizes: []int{-32}},
 		{BusWidths: []int{0}},
+		{Auths: []string{"merkle"}},
+		{AttackRates: []float64{-1}},
 	}
 	for i, s := range cases {
 		if err := s.Validate(); err == nil {
@@ -48,10 +50,10 @@ func TestExpandOrderIsStable(t *testing.T) {
 		t.Fatalf("got %d tasks, want 4", len(tasks))
 	}
 	want := []TaskConfig{
-		{Engine: "xom", Workload: "streaming", Refs: 100, CacheSize: 16 << 10, LineSize: 32, BusWidth: 4},
-		{Engine: "xom", Workload: "streaming", Refs: 200, CacheSize: 16 << 10, LineSize: 32, BusWidth: 4},
-		{Engine: "aegis", Workload: "streaming", Refs: 100, CacheSize: 16 << 10, LineSize: 32, BusWidth: 4},
-		{Engine: "aegis", Workload: "streaming", Refs: 200, CacheSize: 16 << 10, LineSize: 32, BusWidth: 4},
+		{Engine: "xom", Auth: "none", Workload: "streaming", Refs: 100, CacheSize: 16 << 10, LineSize: 32, BusWidth: 4},
+		{Engine: "xom", Auth: "none", Workload: "streaming", Refs: 200, CacheSize: 16 << 10, LineSize: 32, BusWidth: 4},
+		{Engine: "aegis", Auth: "none", Workload: "streaming", Refs: 100, CacheSize: 16 << 10, LineSize: 32, BusWidth: 4},
+		{Engine: "aegis", Auth: "none", Workload: "streaming", Refs: 200, CacheSize: 16 << 10, LineSize: 32, BusWidth: 4},
 	}
 	for i, task := range tasks {
 		if task.Index != i {
@@ -86,9 +88,15 @@ func TestHashStability(t *testing.T) {
 	// The seed derivation must be stable across processes and releases:
 	// a change here silently invalidates every recorded sweep.
 	cfg := TaskConfig{Engine: "aegis", Workload: "sequential", Refs: 60000, CacheSize: 16 << 10, LineSize: 32, BusWidth: 4}
-	const wantKey = "engine=aegis workload=sequential refs=60000 cache=16384 line=32 bus=4"
+	const wantKey = "engine=aegis auth=none attack=0 workload=sequential refs=60000 cache=16384 line=32 bus=4"
 	if cfg.Key() != wantKey {
 		t.Errorf("Key = %q, want %q", cfg.Key(), wantKey)
+	}
+	// The trace seed derives from PointKey, which the auth/attack axes
+	// deliberately do NOT touch: recorded sweeps keep their traces.
+	const wantPoint = "workload=sequential refs=60000 cache=16384 line=32 bus=4"
+	if cfg.PointKey() != wantPoint {
+		t.Errorf("PointKey = %q, want %q", cfg.PointKey(), wantPoint)
 	}
 	if cfg.Hash() != hashString(wantKey) {
 		t.Errorf("Hash does not match FNV-1a of Key")

@@ -166,6 +166,10 @@ func WorkloadProfile(name string, refs int) (trace.Config, bool) {
 	switch name {
 	case "sequential":
 		cfg.LoadFraction, cfg.WriteFraction, cfg.JumpRate, cfg.Locality = 0.35, 0.3, 0.03, 0.7
+	case "firmware":
+		// Microcontroller-class mix; the generator forces the small
+		// footprint (16K code / 32K data) itself.
+		cfg.LoadFraction, cfg.WriteFraction, cfg.JumpRate, cfg.Locality = 0.35, 0.4, 0.03, 0.5
 	case "code-only":
 		cfg.JumpRate = 0.02
 	case "streaming":

@@ -1,0 +1,277 @@
+package core
+
+// The memory-authentication experiments: E20 turns E17's three-row
+// integrity extension into a full design-space axis (authenticator
+// structure × protected-memory size × node-cache size), and E21 sweeps
+// an active adversary's strike rate against the authenticators to
+// measure what the flat-MAC literature never quotes: detection rate,
+// detection latency, and the fail-stop tax.
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/crypto/modes"
+	"repro/internal/edu"
+	"repro/internal/edu/products"
+	"repro/internal/sim/authtree"
+	"repro/internal/sim/soc"
+	"repro/internal/sim/trace"
+)
+
+// e20Key is the GHASH key the auth experiments use (16 bytes).
+var e20Key = []byte("e20-tree-key-012")
+
+// xomEngine builds the confidentiality engine all auth experiments
+// hold fixed (XOM's pipelined AES), so the authenticator is the only
+// delta between rows.
+func xomEngine() (edu.Engine, error) { return products.XOM([]byte("0123456789abcdef")) }
+
+// E20AuthTrees measures the tentpole design space: tree vs flat-MAC vs
+// none, across protected-memory size (the flat table's scaling problem)
+// and on-chip node-cache size (the tree's locality lever). The tamper
+// verdicts show what each structure actually closes.
+func E20AuthTrees(refs int) (*Table, error) {
+	t := &Table{
+		ID:         "E20 (extension)",
+		Title:      "authentication trees vs flat MAC: overhead x protected size x node cache",
+		PaperClaim: "\"take into account the problem of integrity\" (§5) — the AEGIS cached-tree direction, quantified",
+		Header:     []string{"auth", "protected", "node$", "overhead", "on-chip gates", "spoof", "splice", "replay"},
+	}
+	const lineBytes = 32
+	tr := trace.SequentialSource(trace.Config{
+		Refs: refs, Seed: 20, LoadFraction: 0.35, WriteFraction: 0.3, JumpRate: 0.03, Locality: 0.7,
+	})
+
+	protectedSizes := []uint64{4 << 20, 64 << 20, 512 << 20}
+	nodeCaches := []int{1 << 10, 4 << 10, 16 << 10}
+	regions := func(protected uint64) []authtree.Region {
+		return []authtree.Region{
+			{Base: 0, Bytes: ProtectedCodeBytes},
+			{Base: DataBase, Bytes: protected},
+		}
+	}
+
+	// The plaintext baseline and the engine-only run are shared by
+	// every row: the engine never changes.
+	cfg := soc.DefaultConfig()
+	eng, err := xomEngine()
+	if err != nil {
+		return nil, err
+	}
+	base, engOnly, err := soc.Compare(cfg, eng, tr)
+	if err != nil {
+		return nil, err
+	}
+
+	// measure runs the engine+verifier system on the shared trace and
+	// returns overhead vs the plaintext baseline.
+	measure := func(ver edu.Verifier) (float64, error) {
+		eng, err := xomEngine()
+		if err != nil {
+			return 0, err
+		}
+		vcfg := cfg
+		vcfg.Engine = eng
+		vcfg.Verifier = ver
+		s, err := soc.New(vcfg)
+		if err != nil {
+			return 0, err
+		}
+		return s.Run(tr).OverheadVs(base), nil
+	}
+
+	// Tamper verdicts depend on the authenticator structure, not its
+	// geometry: computed once per structure via the registry defaults.
+	verdicts := map[string][3]string{}
+	for _, key := range AuthKeys() {
+		key := key
+		mkSoC := func() (*soc.SoC, error) {
+			eng, err := xomEngine()
+			if err != nil {
+				return nil, err
+			}
+			acfg := soc.DefaultConfig()
+			acfg.Engine = eng
+			if acfg.Verifier, err = BuildAuthenticator(key, lineBytes); err != nil {
+				return nil, err
+			}
+			s, err := soc.New(acfg)
+			if err != nil {
+				return nil, err
+			}
+			img := make([]byte, 4096)
+			for i := range img {
+				img[i] = byte(i * 11)
+			}
+			if err := s.LoadImage(0, img); err != nil {
+				return nil, err
+			}
+			return s, nil
+		}
+		spoof, splice, replay, err := runTampers(mkSoC)
+		if err != nil {
+			return nil, err
+		}
+		v := func(o attack.TamperOutcome) string {
+			if o.Accepted {
+				return "ACCEPTED"
+			}
+			return "blocked"
+		}
+		verdicts[key] = [3]string{v(spoof), v(splice), v(replay)}
+	}
+
+	sizeStr := func(b uint64) string {
+		if b >= 1<<20 {
+			return fmt.Sprintf("%dM", b>>20)
+		}
+		return fmt.Sprintf("%dK", b>>10)
+	}
+
+	// none: the engine-only reference row.
+	vd := verdicts["none"]
+	t.AddRow("none", "-", "-", fmt.Sprintf("%.1f%%", 100*engOnly.OverheadVs(base)), 0, vd[0], vd[1], vd[2])
+
+	// flat-mac: constant on-chip area, no freshness.
+	flat, err := authtree.NewFlat(authtree.FlatConfig{Key: e20Key})
+	if err != nil {
+		return nil, err
+	}
+	ov, err := measure(flat)
+	if err != nil {
+		return nil, err
+	}
+	vd = verdicts["flat-mac"]
+	t.AddRow("flat-mac", "any", "-", fmt.Sprintf("%.1f%%", 100*ov), flat.Gates(), vd[0], vd[1], vd[2])
+
+	// flat-fresh: on-chip counter table scales linearly with protected
+	// memory — the row trio that motivates the trees.
+	for _, protected := range protectedSizes {
+		lines := int((ProtectedCodeBytes + protected) / lineBytes)
+		fresh, err := authtree.NewFlat(authtree.FlatConfig{Key: e20Key, Fresh: true, ProtectedLines: lines})
+		if err != nil {
+			return nil, err
+		}
+		ov, err := measure(fresh)
+		if err != nil {
+			return nil, err
+		}
+		vd = verdicts["flat-fresh"]
+		t.AddRow("flat-fresh", sizeStr(protected), "-", fmt.Sprintf("%.1f%%", 100*ov), fresh.Gates(), vd[0], vd[1], vd[2])
+	}
+
+	// The trees: on-chip area fixed by the node cache, overhead a
+	// function of tree depth (protected size) and node locality.
+	for _, variant := range []authtree.Variant{authtree.HashTree, authtree.CounterTree} {
+		key := "tree"
+		if variant == authtree.CounterTree {
+			key = "ctree"
+		}
+		for _, protected := range protectedSizes {
+			for _, nc := range nodeCaches {
+				tree, err := authtree.New(authtree.Config{
+					Key: e20Key, LineBytes: lineBytes, Regions: regions(protected),
+					NodeCacheBytes: nc, Variant: variant,
+				})
+				if err != nil {
+					return nil, err
+				}
+				ov, err := measure(tree)
+				if err != nil {
+					return nil, err
+				}
+				vd = verdicts[key]
+				t.AddRow(variant.String(), sizeStr(protected), sizeStr(uint64(nc)),
+					fmt.Sprintf("%.1f%%", 100*ov), tree.Gates(), vd[0], vd[1], vd[2])
+			}
+		}
+	}
+
+	t.Notes = append(t.Notes,
+		"flat-fresh on-chip gates grow linearly with protected memory; tree gates are flat (node cache + root)",
+		"tree overhead falls with node-cache size: verification stops at the first on-chip node, not the root",
+		"counter-tree nodes are smaller, so the same SRAM caches more of the tree and misses move fewer bytes",
+		"only root-anchored structures (trees) and on-chip counters (flat-fresh) block replay; flat-mac does not")
+	return t, nil
+}
+
+// E21AttackSweep drives the active-adversary schedule against each
+// authenticator at increasing strike rates: detection rate, detection
+// latency (references from injection to the fail-stop event), and the
+// fail-stop overhead relative to the same system unattacked.
+func E21AttackSweep(refs int) (*Table, error) {
+	t := &Table{
+		ID:         "E21 (extension)",
+		Title:      "active-adversary sweep: detection rate, latency, fail-stop overhead",
+		PaperClaim: "\"attacks based on the modification of the fetched instructions\" (§5) — measured as a campaign, not a single probe",
+		Header:     []string{"auth", "atk/10k", "injected", "detected", "det-rate", "mean-lat", "max-lat", "fail-stop ovh"},
+	}
+	const lineBytes = 32
+	// A microcontroller-class footprint (16 KiB code, 32 KiB hot data —
+	// the survey's systems): small enough that tampered lines cycle
+	// back through the cache several times per run. Detection requires
+	// the victim line to cross the bus again — with a multi-megabyte
+	// footprint most tampers simply age out unobserved, which says
+	// something about the attack surface but nothing about the
+	// authenticators under test.
+	mkSrc := func() trace.RefSource {
+		return trace.SequentialSource(trace.Config{
+			Refs: refs, Seed: 21, LoadFraction: 0.35, WriteFraction: 0.4, JumpRate: 0.03, Locality: 0.5,
+			CodeBase: 0, CodeSize: 16 << 10, DataBase: DataBase, DataSize: 32 << 10,
+		})
+	}
+
+	// AEGIS (counter-mode IVs) rather than XOM: stores carry no data in
+	// this model, so only a counter-mode engine produces fresh
+	// ciphertext on writeback — the condition under which a replay
+	// snapshot ever goes stale and the rollback attack means anything.
+	run := func(auth string, rate float64) (soc.Report, *attack.Schedule, error) {
+		eng, err := products.AEGIS([]byte("0123456789abcdef"), modes.IVCounter, 0x21)
+		if err != nil {
+			return soc.Report{}, nil, err
+		}
+		cfg := soc.DefaultConfig()
+		cfg.Engine = eng
+		if cfg.Verifier, err = BuildAuthenticator(auth, lineBytes); err != nil {
+			return soc.Report{}, nil, err
+		}
+		var sched *attack.Schedule
+		if rate > 0 {
+			sched = attack.NewSchedule(attack.ScheduleConfig{
+				Seed: 2100 + int64(rate*16), PerTenK: rate, LineBytes: lineBytes,
+			})
+			cfg.Intruder = sched
+			cfg.OnViolation = sched.OnViolation
+		}
+		s, err := soc.New(cfg)
+		if err != nil {
+			return soc.Report{}, nil, err
+		}
+		return s.Run(mkSrc()), sched, nil
+	}
+
+	for _, auth := range []string{"none", "flat-mac", "flat-fresh", "tree", "ctree"} {
+		quiet, _, err := run(auth, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, rate := range []float64{1, 4, 16} {
+			rep, sched, err := run(auth, rate)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(auth, rate, sched.Injected, sched.Detected,
+				fmt.Sprintf("%.0f%%", 100*sched.DetectionRate()),
+				fmt.Sprintf("%.0f", sched.MeanLatency()),
+				sched.MaxLatency,
+				fmt.Sprintf("%.2f%%", 100*(float64(rep.Cycles)/float64(quiet.Cycles)-1)))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"detection latency is bounded by cache residency: a tampered line is only checked when it next crosses the bus",
+		"confidentiality-only systems (auth=none) detect nothing — every tamper is silently consumed",
+		"flat-mac misses exactly the replay strikes; root-anchored and counter schemes catch all three kinds",
+		"fail-stop overhead = violation traps on top of the steady verification cost already paid at rate 0")
+	return t, nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import "testing"
+
+func TestParseEngineAuth(t *testing.T) {
+	cases := []struct{ in, eng, auth string }{
+		{"xom", "xom", "none"},
+		{"xom+tree", "xom", "tree"},
+		{"aegis+flat-fresh", "aegis", "flat-fresh"},
+	}
+	for _, c := range cases {
+		eng, auth := ParseEngineAuth(c.in)
+		if eng != c.eng || auth != c.auth {
+			t.Errorf("ParseEngineAuth(%q) = %q,%q want %q,%q", c.in, eng, auth, c.eng, c.auth)
+		}
+	}
+}
+
+func TestAuthenticatorRegistry(t *testing.T) {
+	keys := AuthKeys()
+	if len(keys) != 5 {
+		t.Fatalf("registry has %d authenticators, want 5: %v", len(keys), keys)
+	}
+	for _, key := range keys {
+		v, err := BuildAuthenticator(key, 32)
+		if err != nil {
+			t.Fatalf("build %s: %v", key, err)
+		}
+		if key == "none" && v != nil {
+			t.Error("none built a verifier")
+		}
+		if key != "none" && v == nil {
+			t.Errorf("%s built nil", key)
+		}
+	}
+	if _, err := BuildAuthenticator("merkle", 32); err == nil {
+		t.Error("unknown key accepted")
+	}
+}
+
+// The acceptance matrix of the whole subsystem: confidentiality-only
+// accepts everything, flat-mac accepts exactly replay, root-anchored
+// and counter schemes block all three.
+func TestTamperTableMatrix(t *testing.T) {
+	cases := []struct {
+		key  string
+		want [3]string // spoof, splice, replay
+	}{
+		{"xom", [3]string{"ACCEPTED", "ACCEPTED", "ACCEPTED"}},
+		{"xom+flat-mac", [3]string{"blocked", "blocked", "ACCEPTED"}},
+		{"xom+flat-fresh", [3]string{"blocked", "blocked", "blocked"}},
+		{"xom+tree", [3]string{"blocked", "blocked", "blocked"}},
+		{"aegis+ctree", [3]string{"blocked", "blocked", "blocked"}},
+	}
+	for _, c := range cases {
+		tbl, err := TamperTable(c.key)
+		if err != nil {
+			t.Fatalf("%s: %v", c.key, err)
+		}
+		if len(tbl.Rows) != 3 {
+			t.Fatalf("%s: %d rows, want 3", c.key, len(tbl.Rows))
+		}
+		for i, row := range tbl.Rows {
+			if row[1] != c.want[i] {
+				t.Errorf("%s %s: verdict %q, want %q", c.key, row[0], row[1], c.want[i])
+			}
+		}
+	}
+	if _, err := TamperTable("xom+merkle"); err == nil {
+		t.Error("unknown authenticator accepted")
+	}
+	if _, err := TamperTable("zom+tree"); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+// E20's table must carry the design-space story in its cells: tree
+// rows' on-chip gates are independent of protected size, flat-fresh's
+// grow with it, and the verdict columns match the tamper matrix.
+func TestE20AuthTrees(t *testing.T) {
+	tbl, err := E20AuthTrees(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rowInfo struct {
+		protected, gates string
+		verdicts         [3]string
+	}
+	byAuth := map[string][]rowInfo{}
+	for _, row := range tbl.Rows {
+		byAuth[row[0]] = append(byAuth[row[0]], rowInfo{
+			protected: row[1], gates: row[4],
+			verdicts: [3]string{row[5], row[6], row[7]},
+		})
+	}
+	if got := len(byAuth["hash-tree"]); got != 9 {
+		t.Fatalf("hash-tree rows = %d, want 9 (3 protected x 3 node caches)", got)
+	}
+	// Tree gates must not vary with protected size (different node
+	// cache sizes legitimately differ; rows 0, 3 and 6 share a cache).
+	trees := byAuth["hash-tree"]
+	if trees[0].gates != trees[3].gates || trees[3].gates != trees[6].gates {
+		t.Errorf("hash-tree on-chip gates vary with protected size: %s %s %s",
+			trees[0].gates, trees[3].gates, trees[6].gates)
+	}
+	fresh := byAuth["flat-fresh"]
+	if len(fresh) != 3 || fresh[0].gates == fresh[2].gates {
+		t.Errorf("flat-fresh gates should scale with protected size: %+v", fresh)
+	}
+	for _, r := range byAuth["none"] {
+		if r.verdicts != [3]string{"ACCEPTED", "ACCEPTED", "ACCEPTED"} {
+			t.Errorf("none verdicts = %v", r.verdicts)
+		}
+	}
+	for _, r := range byAuth["flat-mac"] {
+		if r.verdicts != [3]string{"blocked", "blocked", "ACCEPTED"} {
+			t.Errorf("flat-mac verdicts = %v", r.verdicts)
+		}
+	}
+	for _, auth := range []string{"hash-tree", "counter-tree", "flat-fresh"} {
+		for _, r := range byAuth[auth] {
+			if r.verdicts != [3]string{"blocked", "blocked", "blocked"} {
+				t.Errorf("%s verdicts = %v, want all blocked", auth, r.verdicts)
+			}
+		}
+	}
+}
+
+// E21 must show detections under the authenticated systems and none
+// under the bare engine.
+func TestE21AttackSweep(t *testing.T) {
+	tbl, err := E21AttackSweep(30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var treeDetected, noneDetected bool
+	for _, row := range tbl.Rows {
+		auth, detected := row[0], row[3]
+		if auth == "none" && detected != "0" {
+			noneDetected = true
+		}
+		if (auth == "tree" || auth == "ctree") && detected != "0" {
+			treeDetected = true
+		}
+	}
+	if noneDetected {
+		t.Error("confidentiality-only rows report detections")
+	}
+	if !treeDetected {
+		t.Error("no tree row detected anything; the sweep is inert")
+	}
+}

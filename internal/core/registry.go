@@ -6,7 +6,7 @@ import "strings"
 // ID and a runner. Experiments whose cost is not trace-driven (E4, E9,
 // E13–E15) ignore the refs argument.
 type Experiment struct {
-	// ID is the index identifier, "E1".."E19".
+	// ID is the index identifier, "E1".."E21".
 	ID string
 	// Title is the one-line description used by listings.
 	Title string
@@ -39,6 +39,8 @@ func Experiments() []Experiment {
 		{"E17", "integrity against instruction modification (extension)", E17Integrity},
 		{"E18", "design-space ablations around AEGIS (extension)", E18Ablations},
 		{"E19", "per-process bus keys under multitasking (extension)", E19KeyManagement},
+		{"E20", "authentication trees vs flat MAC design space (extension)", E20AuthTrees},
+		{"E21", "active-adversary attack-rate sweep (extension)", E21AttackSweep},
 	}
 }
 

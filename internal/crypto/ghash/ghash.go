@@ -1,0 +1,171 @@
+// Package ghash implements the Carter–Wegman universal hash over
+// GF(2^128) that GCM calls GHASH — the construction that makes per-node
+// authentication cheap enough to sit on a cache miss path. A hardware
+// GHASH unit is one 128-bit carryless multiplier plus an accumulator
+// (a few tens of kilogates), an order of magnitude smaller than a
+// SHA-256 datapath, which is why the AEGIS-direction integrity trees
+// tag every tree node with a keyed universal hash instead of a full
+// cryptographic MAC.
+//
+// The implementation is the classic 4-bit-window table method: key
+// expansion precomputes the 16 multiples of H needed to multiply by one
+// hex digit at a time, and the per-block work is 32 table lookups and a
+// shift-reduce. Everything is fixed-size value state, so hashing a line
+// performs zero heap allocations — the property the simulator's
+// 0 allocs/ref hot path requires.
+package ghash
+
+import "encoding/binary"
+
+// KeySize is the GHASH key length: one 128-bit field element H.
+const KeySize = 16
+
+// TagBytes is the truncated authenticator the memory-authentication
+// engines store per node (64-bit tags, the common hardware width).
+const TagBytes = 8
+
+// Tag is a truncated GHASH authenticator.
+type Tag = [TagBytes]byte
+
+// fieldElement is a GF(2^128) element in GCM's reflected bit order:
+// low holds the first 8 bytes of the serialized element, high the rest.
+type fieldElement struct {
+	low, high uint64
+}
+
+// Key is an expanded GHASH key: the per-digit multiple table of H.
+type Key struct {
+	productTable [16]fieldElement
+}
+
+// reductionTable folds the 4 bits shifted out of a field element back
+// in, premultiplied by the reduction polynomial x^128 + x^7 + x^2 + x + 1.
+var reductionTable = [16]uint16{
+	0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0,
+	0xe100, 0xfd20, 0xd940, 0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0,
+}
+
+// reverseBits reverses a 4-bit index; the product table is stored in
+// reversed order so the multiply loop can index by the low digit
+// directly.
+func reverseBits(i int) int {
+	i = i<<2&0xc | i>>2&0x3
+	i = i<<1&0xa | i>>1&0x5
+	return i
+}
+
+// add is addition in GF(2^128): XOR.
+func add(x, y fieldElement) fieldElement {
+	return fieldElement{x.low ^ y.low, x.high ^ y.high}
+}
+
+// double multiplies by x in the reflected representation (the serialized
+// msb is the polynomial's constant term, so doubling is a right shift
+// with conditional reduction).
+func double(x fieldElement) fieldElement {
+	msbSet := x.high&1 == 1
+	var d fieldElement
+	d.high = x.high>>1 | x.low<<63
+	d.low = x.low >> 1
+	if msbSet {
+		d.low ^= 0xe100000000000000
+	}
+	return d
+}
+
+// NewKey expands the 16-byte hash key H.
+func NewKey(h []byte) *Key {
+	if len(h) != KeySize {
+		panic("ghash: key must be exactly 16 bytes")
+	}
+	x := fieldElement{
+		binary.BigEndian.Uint64(h[:8]),
+		binary.BigEndian.Uint64(h[8:]),
+	}
+	k := &Key{}
+	k.productTable[reverseBits(1)] = x
+	for i := 2; i < 16; i += 2 {
+		k.productTable[reverseBits(i)] = double(k.productTable[reverseBits(i/2)])
+		k.productTable[reverseBits(i+1)] = add(k.productTable[reverseBits(i)], x)
+	}
+	return k
+}
+
+// mul sets y = y * H, one hex digit of y at a time.
+func (k *Key) mul(y *fieldElement) {
+	var z fieldElement
+	for i := 0; i < 2; i++ {
+		word := y.high
+		if i == 1 {
+			word = y.low
+		}
+		for j := 0; j < 64; j += 4 {
+			msw := z.high & 0xf
+			z.high >>= 4
+			z.high |= z.low << 60
+			z.low >>= 4
+			z.low ^= uint64(reductionTable[msw]) << 48
+			t := &k.productTable[word&0xf]
+			z.low ^= t.low
+			z.high ^= t.high
+			word >>= 4
+		}
+	}
+	*y = z
+}
+
+// absorb folds one 16-byte block into the accumulator: y = (y ⊕ b) · H.
+func (k *Key) absorb(y *fieldElement, block []byte) {
+	y.low ^= binary.BigEndian.Uint64(block[:8])
+	y.high ^= binary.BigEndian.Uint64(block[8:])
+	k.mul(y)
+}
+
+// Sum computes the full 16-byte GHASH of data, allocation-free. A
+// ragged tail is zero-padded, and a final length block closes the
+// polynomial, so inputs of different lengths never collide by padding.
+func (k *Key) Sum(data []byte) [KeySize]byte {
+	var y fieldElement
+	k.sumInto(&y, data)
+	return k.serialize(&y)
+}
+
+func (k *Key) sumInto(y *fieldElement, data []byte) {
+	n := len(data)
+	for len(data) >= KeySize {
+		k.absorb(y, data[:KeySize])
+		data = data[KeySize:]
+	}
+	if len(data) > 0 {
+		var pad [KeySize]byte
+		copy(pad[:], data)
+		k.absorb(y, pad[:])
+	}
+	var lenBlock [KeySize]byte
+	binary.BigEndian.PutUint64(lenBlock[8:], uint64(n)*8)
+	k.absorb(y, lenBlock[:])
+}
+
+func (k *Key) serialize(y *fieldElement) [KeySize]byte {
+	var out [KeySize]byte
+	binary.BigEndian.PutUint64(out[:8], y.low)
+	binary.BigEndian.PutUint64(out[8:], y.high)
+	return out
+}
+
+// TagLine computes the truncated authenticator the memory engines store
+// per protected node: GHASH over a prefix block carrying the address
+// and version (the bindings that stop splicing and replay) followed by
+// the node's bytes. Allocation-free.
+func (k *Key) TagLine(addr, version uint64, data []byte) Tag {
+	var y fieldElement
+	var prefix [KeySize]byte
+	binary.BigEndian.PutUint64(prefix[:8], addr)
+	binary.BigEndian.PutUint64(prefix[8:], version)
+	k.absorb(&y, prefix[:])
+	k.sumInto(&y, data)
+	full := k.serialize(&y)
+	var t Tag
+	copy(t[:], full[:TagBytes])
+	return t
+}

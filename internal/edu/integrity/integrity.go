@@ -118,13 +118,20 @@ func (e *Engine) Placement() edu.Placement { return e.cfg.Inner.Placement() }
 // BlockBytes implements edu.Engine.
 func (e *Engine) BlockBytes() int { return e.cfg.Inner.BlockBytes() }
 
-// counterTableGates is the on-chip SRAM cost of the freshness table
-// (8 bytes per protected line at ~12 gates/byte).
+// CounterBytes is the per-line freshness counter width in the on-chip
+// table.
+const CounterBytes = 8
+
+// counterTableGates is the on-chip SRAM cost of the freshness table:
+// CounterBytes per protected line, charged through the shared
+// edu.SRAMGatesPerByte accounting rule — the same rule the sim/authtree
+// verifiers use for their node caches, so the E17 and E20 gate/area
+// columns are directly comparable.
 func (e *Engine) counterTableGates() int {
 	if e.cfg.Level != MACWithFreshness {
 		return 0
 	}
-	return e.cfg.ProtectedLines * 8 * 12
+	return e.cfg.ProtectedLines * CounterBytes * edu.SRAMGatesPerByte
 }
 
 // MACUnitGates approximates the keyed-hash datapath.

@@ -1,0 +1,271 @@
+package authtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/crypto/ghash"
+	"repro/internal/edu"
+)
+
+var testKey = []byte("0123456789abcdef")
+
+func testRegions() []Region {
+	return []Region{
+		{Base: 0, Bytes: 1 << 20},
+		{Base: 0x4000_0000, Bytes: 4 << 20},
+	}
+}
+
+func mkTree(t *testing.T, variant Variant, nodeCacheBytes int) *Tree {
+	t.Helper()
+	tr, err := New(Config{
+		Key: testKey, LineBytes: 32, Regions: testRegions(),
+		NodeCacheBytes: nodeCacheBytes, Variant: variant,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func line(seed byte) []byte {
+	b := make([]byte, 32)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Key: []byte("short"), LineBytes: 32, Regions: testRegions()},
+		{Key: testKey, LineBytes: 33, Regions: testRegions()},
+		{Key: testKey, LineBytes: 32},
+		{Key: testKey, LineBytes: 32, Regions: testRegions(), Arity: 3},
+		{Key: testKey, LineBytes: 32, Regions: []Region{{Base: 7, Bytes: 1024}}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted, want error", i)
+		}
+	}
+	if _, err := NewFlat(FlatConfig{Key: testKey, Fresh: true}); err == nil {
+		t.Error("flat freshness without a table bound accepted")
+	}
+}
+
+func TestLevelsAndNodeGeometry(t *testing.T) {
+	tr := mkTree(t, HashTree, 4<<10)
+	// 5 MiB protected at 32 B/line = 160 Ki leaves; arity 8 needs
+	// ceil(log8(160Ki)) = 6 interior levels including the root.
+	if tr.Levels() != 6 {
+		t.Errorf("Levels = %d, want 6", tr.Levels())
+	}
+	if tr.NodeBytes() != 16*8 {
+		t.Errorf("hash node = %dB, want 128", tr.NodeBytes())
+	}
+	ct := mkTree(t, CounterTree, 4<<10)
+	if ct.NodeBytes() != 8*8+8 {
+		t.Errorf("counter node = %dB, want 72", ct.NodeBytes())
+	}
+	if ct.NodeBytes() >= tr.NodeBytes() {
+		t.Error("counter-tree nodes should be smaller than hash-tree nodes")
+	}
+}
+
+// Legitimate write-then-read must verify, for both variants and both
+// flat schemes.
+func TestRoundTripVerifies(t *testing.T) {
+	verifiers := []edu.Verifier{
+		mkTree(t, HashTree, 4<<10),
+		mkTree(t, CounterTree, 4<<10),
+		mustFlat(t, false),
+		mustFlat(t, true),
+	}
+	for _, v := range verifiers {
+		ct := line(3)
+		v.UpdateWrite(0x40, ct)
+		if _, ok := v.VerifyRead(0x40, ct); !ok {
+			t.Errorf("%s: legitimate read rejected", v.Name())
+		}
+		// Rewrite with new content, re-read.
+		ct2 := line(9)
+		v.UpdateWrite(0x40, ct2)
+		if _, ok := v.VerifyRead(0x40, ct2); !ok {
+			t.Errorf("%s: read after rewrite rejected", v.Name())
+		}
+	}
+}
+
+func mustFlat(t *testing.T, fresh bool) *Flat {
+	t.Helper()
+	f, err := NewFlat(FlatConfig{Key: testKey, Fresh: fresh, ProtectedLines: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// The three attacks at the verifier seam: spoof (content), splice
+// (address), replay (freshness).
+func TestAttackDetection(t *testing.T) {
+	type tamperCase struct {
+		name string
+		// wantDetected[i] is the expectation for
+		// {hash-tree, counter-tree, flat-mac, flat-fresh}.
+		want [4]bool
+		run  func(v edu.Verifier) bool // returns detected
+	}
+	genuine := line(1)
+	other := line(2)
+	cases := []tamperCase{
+		{"spoof", [4]bool{true, true, true, true}, func(v edu.Verifier) bool {
+			v.UpdateWrite(0x40, genuine)
+			junk := line(0xEE)
+			_, ok := v.VerifyRead(0x40, junk)
+			return !ok
+		}},
+		{"splice", [4]bool{true, true, true, true}, func(v edu.Verifier) bool {
+			v.UpdateWrite(0x00, genuine)
+			v.UpdateWrite(0x40, other)
+			// Relocate ciphertext AND tag from 0x00 to 0x40.
+			ts := v.(interface {
+				TagAt(uint64) ([ghash.TagBytes]byte, bool)
+				TamperTag(uint64, [ghash.TagBytes]byte)
+			})
+			if tag, had := ts.TagAt(0x00); had {
+				ts.TamperTag(0x40, tag)
+			}
+			_, ok := v.VerifyRead(0x40, genuine) // 0x00's bytes at 0x40
+			return !ok
+		}},
+		{"replay", [4]bool{true, true, false, true}, func(v edu.Verifier) bool {
+			v.UpdateWrite(0x40, genuine)
+			ts := v.(interface {
+				TagAt(uint64) ([ghash.TagBytes]byte, bool)
+				TamperTag(uint64, [ghash.TagBytes]byte)
+			})
+			staleTag, _ := ts.TagAt(0x40)
+			// Legitimate rewrite, then roll back ct + tag.
+			v.UpdateWrite(0x40, other)
+			ts.TamperTag(0x40, staleTag)
+			_, ok := v.VerifyRead(0x40, genuine)
+			return !ok
+		}},
+	}
+	for _, tc := range cases {
+		verifiers := []edu.Verifier{
+			mkTree(t, HashTree, 4<<10),
+			mkTree(t, CounterTree, 4<<10),
+			mustFlat(t, false),
+			mustFlat(t, true),
+		}
+		for i, v := range verifiers {
+			if got := tc.run(v); got != tc.want[i] {
+				t.Errorf("%s under %s: detected=%v, want %v", tc.name, v.Name(), got, tc.want[i])
+			}
+		}
+	}
+}
+
+// Unprotected addresses bypass verification (counted, free, accepted).
+func TestUnprotectedBypass(t *testing.T) {
+	tr := mkTree(t, HashTree, 4<<10)
+	stall, ok := tr.VerifyRead(0x9000_0000, line(5))
+	if !ok || stall != 0 {
+		t.Fatalf("unprotected read: stall=%d ok=%v, want 0,true", stall, ok)
+	}
+	if tr.Unprotected != 1 {
+		t.Fatalf("Unprotected = %d, want 1", tr.Unprotected)
+	}
+}
+
+// The node cache is the cost lever: the same access stream must get
+// cheaper (higher hit rate, lower cumulative stall) as the cache grows.
+func TestNodeCacheLocality(t *testing.T) {
+	run := func(nodeCacheBytes int) (stall uint64, hitRate float64) {
+		tr := mkTree(t, HashTree, nodeCacheBytes)
+		rng := rand.New(rand.NewSource(7))
+		ct := line(1)
+		// A looping working set of 512 lines (16 KiB): tree locality a
+		// real node cache can exploit.
+		for i := 0; i < 20000; i++ {
+			addr := uint64(rng.Intn(512)) * 32
+			if rng.Intn(4) == 0 {
+				stall += tr.UpdateWrite(addr, ct)
+			} else {
+				s, _ := tr.VerifyRead(addr, ct)
+				stall += s
+			}
+		}
+		return stall, tr.NodeHitRate()
+	}
+	smallStall, smallHit := run(512)
+	bigStall, bigHit := run(16 << 10)
+	if bigStall >= smallStall {
+		t.Errorf("16K node cache stall %d >= 512B stall %d", bigStall, smallStall)
+	}
+	if bigHit <= smallHit {
+		t.Errorf("16K node cache hit rate %.3f <= 512B hit rate %.3f", bigHit, smallHit)
+	}
+}
+
+// On-chip area: trees are flat in protected size; the flat freshness
+// table is linear in it — the motivating contrast.
+func TestGatesScaling(t *testing.T) {
+	small, err := New(Config{Key: testKey, LineBytes: 32,
+		Regions: []Region{{Base: 0, Bytes: 4 << 20}}, NodeCacheBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := New(Config{Key: testKey, LineBytes: 32,
+		Regions: []Region{{Base: 0, Bytes: 512 << 20}}, NodeCacheBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Gates() != big.Gates() {
+		t.Errorf("tree gates vary with protected size: %d vs %d", small.Gates(), big.Gates())
+	}
+	if big.Levels() <= small.Levels() {
+		t.Errorf("levels should grow with protected size: %d vs %d", big.Levels(), small.Levels())
+	}
+
+	flatSmall, _ := NewFlat(FlatConfig{Key: testKey, Fresh: true, ProtectedLines: (4 << 20) / 32})
+	flatBig, _ := NewFlat(FlatConfig{Key: testKey, Fresh: true, ProtectedLines: (512 << 20) / 32})
+	if flatBig.Gates() <= 100*flatSmall.Gates() {
+		t.Errorf("flat-fresh gates should scale ~linearly: %d vs %d", flatSmall.Gates(), flatBig.Gates())
+	}
+	// The accounting rule is shared: counter table = lines * 8 bytes *
+	// edu.SRAMGatesPerByte, plus the hash datapath.
+	want := edu.GHASHUnitGates + (4<<20)/32*8*edu.SRAMGatesPerByte
+	if flatSmall.Gates() != want {
+		t.Errorf("flat-fresh gates = %d, want %d (shared SRAM rule)", flatSmall.Gates(), want)
+	}
+}
+
+// Steady-state verifier operations must not allocate: they sit on the
+// SoC's 0 allocs/ref miss path.
+func TestVerifierZeroAllocs(t *testing.T) {
+	for _, v := range []edu.Verifier{
+		mkTree(t, HashTree, 1<<10),
+		mkTree(t, CounterTree, 1<<10),
+		mustFlat(t, true),
+	} {
+		ct := line(1)
+		// Warm every line's tag entry, then measure.
+		for a := uint64(0); a < 256*32; a += 32 {
+			v.UpdateWrite(a, ct)
+			v.VerifyRead(a, ct)
+		}
+		i := 0
+		if avg := testing.AllocsPerRun(200, func() {
+			a := uint64(i%256) * 32
+			i++
+			v.VerifyRead(a, ct)
+			v.UpdateWrite(a, ct)
+		}); avg != 0 {
+			t.Errorf("%s: %.2f allocs per op, want 0", v.Name(), avg)
+		}
+	}
+}

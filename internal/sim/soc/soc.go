@@ -30,12 +30,42 @@ type Config struct {
 	CacheHitCycles int
 	// Engine is the bus-encryption unit; nil means edu.Null{}.
 	Engine edu.Engine
+	// Verifier is the memory authenticator (sim/authtree, or any
+	// edu.Verifier); nil means no integrity checking. It is driven on
+	// the same miss/writeback traffic as the engine but independently
+	// of it, so any confidentiality engine composes with any
+	// authenticator.
+	Verifier edu.Verifier
+	// ViolationCycles is the security-exception cost charged per
+	// detected verification failure (trap entry and the fail-stop
+	// decision path) before the line is zeroed. Only meaningful with a
+	// Verifier installed.
+	ViolationCycles int
+	// Intruder, when non-nil, is invoked before every reference with
+	// the running reference index: the active adversary tampering with
+	// external state mid-run (internal/attack.Schedule).
+	Intruder Intruder
+	// OnViolation, when non-nil, observes each detected tamper: the
+	// reference index at which verification failed and the line
+	// address. The attack schedule uses it to measure detection
+	// latency.
+	OnViolation func(refIndex, lineAddr uint64)
 	// SkipFinalFlush disables the end-of-run drain of dirty cache
 	// lines. The default (false) spills every dirty line when Run
 	// finishes and folds the cycles into the report, so writeback
 	// traffic is fully accounted; Compare flushes both systems, keeping
 	// the overhead comparison apples-to-apples.
 	SkipFinalFlush bool
+}
+
+// Intruder is an active adversary with write access to external state
+// (DRAM contents, external tag stores) during a run — the attack model
+// of the survey's §2.3 extended to modification. Strike is called once
+// per reference, before the reference is processed; implementations
+// tamper via s.DRAM() and the engine/verifier tag stores, never via
+// timing-bearing paths.
+type Intruder interface {
+	Strike(refIndex uint64, ref trace.Ref, s *SoC)
 }
 
 // DefaultConfig is the reference 2005-class embedded system used across
@@ -47,9 +77,10 @@ func DefaultConfig() Config {
 			Size: 16 << 10, LineSize: 32, Ways: 4,
 			Policy: cache.LRU, WriteMode: cache.WriteBack,
 		},
-		Bus:            bus.Config{WidthBytes: 4, ClockDivider: 2, AddressCycles: 2},
-		DRAM:           dram.DefaultConfig(),
-		CacheHitCycles: 1,
+		Bus:             bus.Config{WidthBytes: 4, ClockDivider: 2, AddressCycles: 2},
+		DRAM:            dram.DefaultConfig(),
+		CacheHitCycles:  1,
+		ViolationCycles: 100,
 	}
 }
 
@@ -64,9 +95,20 @@ type Report struct {
 	EngineStalls uint64 // the portion attributable to the engine
 	RMWEvents    uint64 // partial writes that forced read-modify-write
 	FlushedLines uint64 // dirty lines drained at end of run (spill cycles included in Cycles)
-	Cache        cache.Stats
-	BusBytes     uint64
-	BusTxns      uint64
+	// AuthStalls is the verifier-side portion of StallCycles: tag
+	// computation, tree walks, node fetches, violation traps.
+	AuthStalls uint64
+	// AuthViolations counts fail-stop events: every failed line
+	// verification (zeroed line + trap charge). A tampered line that is
+	// never repaired re-triggers on each refill, so this can exceed the
+	// number of distinct tampers — real fail-stop hardware would halt
+	// at the first event; the simulation keeps running and charges each
+	// one. Distinct-tamper detection counts live in the attack
+	// schedule (internal/attack.Schedule.Detected).
+	AuthViolations uint64
+	Cache          cache.Stats
+	BusBytes       uint64
+	BusTxns        uint64
 }
 
 // CPI returns cycles per instruction.
@@ -89,11 +131,15 @@ func (r Report) OverheadVs(base Report) float64 {
 
 // SoC is one assembled system.
 type SoC struct {
-	cfg    Config
-	cache  *cache.Cache
-	bus    *bus.Bus
-	dram   *dram.DRAM
-	engine edu.Engine
+	cfg      Config
+	cache    *cache.Cache
+	bus      *bus.Bus
+	dram     *dram.DRAM
+	engine   edu.Engine
+	verifier edu.Verifier
+	// curRef is the index of the reference Run is processing, for
+	// violation timestamps (detection-latency measurement).
+	curRef uint64
 	// shadow holds the plaintext of every resident cache line in a flat
 	// arena indexed by the cache's line slot (cache.Result.Slot), so its
 	// footprint is exactly the cache capacity and entries are recycled
@@ -129,13 +175,16 @@ func New(cfg Config) (*SoC, error) {
 	if cfg.CacheHitCycles <= 0 {
 		return nil, fmt.Errorf("soc: non-positive cache hit latency %d", cfg.CacheHitCycles)
 	}
+	if cfg.ViolationCycles < 0 {
+		return nil, fmt.Errorf("soc: negative violation cost %d", cfg.ViolationCycles)
+	}
 	if cfg.Cache.LineSize%eng.BlockBytes() != 0 {
 		return nil, fmt.Errorf("soc: line size %d not a multiple of engine granule %d",
 			cfg.Cache.LineSize, eng.BlockBytes())
 	}
 	ls := cfg.Cache.LineSize
 	return &SoC{
-		cfg: cfg, cache: c, bus: b, dram: d, engine: eng,
+		cfg: cfg, cache: c, bus: b, dram: d, engine: eng, verifier: cfg.Verifier,
 		shadow: make([]byte, c.Lines()*ls),
 		ctIn:   make([]byte, ls),
 		ctOut:  make([]byte, ls),
@@ -157,11 +206,19 @@ func (s *SoC) slotData(slot int) []byte {
 // Bus exposes the bus for probe attachment.
 func (s *SoC) Bus() *bus.Bus { return s.bus }
 
+// Cache exposes the on-chip cache. The attack model reads residency
+// from it: a probe attacker reconstructs cache contents from the
+// fill/eviction traffic it watches.
+func (s *SoC) Cache() *cache.Cache { return s.cache }
+
 // DRAM exposes external memory (the attacker can dump it).
 func (s *SoC) DRAM() *dram.DRAM { return s.dram }
 
 // Engine returns the installed engine.
 func (s *SoC) Engine() edu.Engine { return s.engine }
+
+// Verifier returns the installed memory authenticator (nil if none).
+func (s *SoC) Verifier() edu.Verifier { return s.verifier }
 
 // LoadImage installs plaintext data into external memory through the
 // engine, line by line — the survey's step 6: "the processor uses K and
@@ -178,6 +235,12 @@ func (s *SoC) LoadImage(addr uint64, data []byte) error {
 		ct := make([]byte, ls)
 		s.engine.EncryptLine(addr+uint64(off), ct, line)
 		s.dram.Write(addr+uint64(off), ct)
+		if s.verifier != nil {
+			// Enrollment: the image install is the boot-time write that
+			// brings each line under authentication (no timing — this is
+			// the survey's step 6, outside the measured run).
+			s.verifier.UpdateWrite(addr+uint64(off), ct)
+		}
 	}
 	return nil
 }
@@ -193,6 +256,11 @@ func (s *SoC) ReadPlain(addr uint64, n int) []byte {
 		ct := s.dram.Read(a, ls)
 		pt := make([]byte, ls)
 		s.engine.DecryptLine(a, pt, ct)
+		if s.verifier != nil {
+			if _, ok := s.verifier.VerifyRead(a, ct); !ok {
+				clear(pt) // fail-stop: the CPU never sees tampered data
+			}
+		}
 		out = append(out, pt...)
 	}
 	off := int(addr - start)
@@ -211,10 +279,11 @@ func (s *SoC) transferSize(lineAddr uint64, lineBytes int) int {
 }
 
 // fill performs a line fill into shadow slot: DRAM access, bus transfer
-// of ciphertext, engine decryption. Returns total CPU cycles for the
-// miss path. Allocation-free: scratch buffers and the slot arena are
-// preallocated.
-func (s *SoC) fill(lineAddr uint64, slot int) (cycles, engineStall uint64) {
+// of ciphertext, engine decryption, and — with a verifier installed —
+// read verification of the inbound ciphertext. Returns total CPU cycles
+// for the miss path. Allocation-free: scratch buffers and the slot
+// arena are preallocated.
+func (s *SoC) fill(lineAddr uint64, slot int, rep *Report) (cycles, engineStall uint64) {
 	ls := s.cfg.Cache.LineSize
 	dramCycles := s.dram.AccessCycles(lineAddr)
 	s.dram.ReadInto(lineAddr, s.ctIn)
@@ -222,20 +291,45 @@ func (s *SoC) fill(lineAddr uint64, slot int) (cycles, engineStall uint64) {
 	s.engine.DecryptLine(lineAddr, s.slotData(slot), s.ctIn)
 	transfer := dramCycles + busCycles
 	extra := s.engine.ReadExtraCycles(lineAddr, ls, transfer)
-	return transfer + extra, extra
+	cycles = transfer + extra
+	if s.verifier != nil {
+		cycles += s.verifyInbound(lineAddr, s.slotData(slot), rep)
+	}
+	return cycles, extra
+}
+
+// verifyInbound authenticates the ciphertext sitting in ctIn for the
+// line at lineAddr and applies the fail-stop response to pt on a
+// detected tamper: zero the plaintext, charge the violation trap,
+// count it, and notify the observer. Returns the verifier-side cycles.
+func (s *SoC) verifyInbound(lineAddr uint64, pt []byte, rep *Report) uint64 {
+	stall, ok := s.verifier.VerifyRead(lineAddr, s.ctIn)
+	rep.AuthStalls += stall
+	if !ok {
+		stall += uint64(s.cfg.ViolationCycles)
+		rep.AuthStalls += uint64(s.cfg.ViolationCycles)
+		rep.AuthViolations++
+		clear(pt)
+		if s.cfg.OnViolation != nil {
+			s.cfg.OnViolation(s.curRef, lineAddr)
+		}
+	}
+	return stall
 }
 
 // spill writes a dirty line's plaintext pt out: engine encryption, bus,
-// DRAM. The caller owns pt (normally the victim's shadow slot, read
-// before the subsequent fill overwrites it).
-func (s *SoC) spill(lineAddr uint64, pt []byte) (cycles, engineStall uint64) {
+// DRAM, and the verifier's write-update (retag plus tree propagation).
+// The caller owns pt (normally the victim's shadow slot, read before
+// the subsequent fill overwrites it).
+func (s *SoC) spill(lineAddr uint64, pt []byte, rep *Report) (cycles, engineStall uint64) {
 	ls := s.cfg.Cache.LineSize
 	s.engine.EncryptLine(lineAddr, s.ctOut, pt)
 	dramCycles := s.dram.AccessCycles(lineAddr)
 	busCycles := s.bus.Transfer(bus.Write, lineAddr, s.ctOut[:s.transferSize(lineAddr, ls)])
 	s.dram.Write(lineAddr, s.ctOut)
 	extra := s.engine.WriteExtraCycles(lineAddr, ls)
-	return dramCycles + busCycles + extra, extra
+	cycles = dramCycles + busCycles + extra + s.updateOutbound(lineAddr, rep)
+	return cycles, extra
 }
 
 // writeThrough costs a store of size bytes at addr going straight to
@@ -264,11 +358,17 @@ func (s *SoC) writeThrough(addr uint64, size, hitSlot int, rep *Report) (cycles,
 	if hitSlot < 0 || needRMW {
 		s.dram.ReadInto(lineAddr, s.ctIn)
 	}
+	var authStall uint64
 	pt := s.ptBuf
 	if hitSlot >= 0 {
 		pt = s.slotData(hitSlot)
 	} else {
 		s.engine.DecryptLine(lineAddr, pt, s.ctIn)
+		if s.verifier != nil {
+			// The recovered line comes from tamperable memory: verify it
+			// before its plaintext feeds the rewrite.
+			authStall += s.verifyInbound(lineAddr, pt, rep)
+		}
 	}
 	s.engine.EncryptLine(lineAddr, s.ctOut, pt)
 
@@ -287,8 +387,9 @@ func (s *SoC) writeThrough(addr uint64, size, hitSlot int, rep *Report) (cycles,
 		dramW := s.dram.AccessCycles(blockAddr)
 		busW := s.bus.Transfer(bus.Write, blockAddr, s.ctOut[gOff:gOff+bb])
 		s.dram.Write(lineAddr, s.ctOut)
+		authStall += s.updateOutbound(lineAddr, rep)
 		stall := readExtra + writeExtra
-		return dramR + busR + dramW + busW + stall, stall
+		return dramR + busR + dramW + busW + stall + authStall, stall
 	}
 	// Granule-aligned store: encrypt and write one granule.
 	n := size
@@ -304,7 +405,19 @@ func (s *SoC) writeThrough(addr uint64, size, hitSlot int, rep *Report) (cycles,
 	dramW := s.dram.AccessCycles(blockAddr)
 	busW := s.bus.Transfer(bus.Write, blockAddr, s.ctOut[gOff:gOff+n])
 	s.dram.Write(lineAddr, s.ctOut)
-	return dramW + busW + extra, extra
+	authStall += s.updateOutbound(lineAddr, rep)
+	return dramW + busW + extra + authStall, extra
+}
+
+// updateOutbound runs the verifier's write-update for the line just
+// written to DRAM (sitting in ctOut), returning its cycle cost.
+func (s *SoC) updateOutbound(lineAddr uint64, rep *Report) uint64 {
+	if s.verifier == nil {
+		return 0
+	}
+	us := s.verifier.UpdateWrite(lineAddr, s.ctOut)
+	rep.AuthStalls += us
+	return us
 }
 
 // Run consumes src to completion and reports the cycle accounting. The
@@ -322,6 +435,10 @@ func (s *SoC) Run(src trace.RefSource) Report {
 		if !ok {
 			break
 		}
+		if s.cfg.Intruder != nil {
+			s.cfg.Intruder.Strike(rep.Refs, ref, s)
+		}
+		s.curRef = rep.Refs
 		rep.Refs++
 		if ref.Kind == trace.Fetch {
 			rep.Instructions++
@@ -335,13 +452,13 @@ func (s *SoC) Run(src trace.RefSource) Report {
 		if res.Writeback {
 			// The victim's plaintext lives in the fill slot until the
 			// fill below overwrites it.
-			c, e := s.spill(res.WritebackAddr, s.slotData(res.Slot))
+			c, e := s.spill(res.WritebackAddr, s.slotData(res.Slot), &rep)
 			rep.Cycles += c
 			rep.StallCycles += c
 			rep.EngineStalls += e
 		}
 		if res.Fill {
-			c, e := s.fill(res.FillAddr, res.Slot)
+			c, e := s.fill(res.FillAddr, res.Slot, &rep)
 			rep.Cycles += c
 			rep.StallCycles += c
 			rep.EngineStalls += e
@@ -361,7 +478,7 @@ func (s *SoC) Run(src trace.RefSource) Report {
 	if !s.cfg.SkipFinalFlush {
 		s.flushBuf = s.cache.FlushDirty(s.flushBuf[:0])
 		for _, d := range s.flushBuf {
-			c, e := s.spill(d.Addr, s.slotData(d.Slot))
+			c, e := s.spill(d.Addr, s.slotData(d.Slot), &rep)
 			rep.Cycles += c
 			rep.StallCycles += c
 			rep.EngineStalls += e
@@ -384,6 +501,9 @@ func (s *SoC) Run(src trace.RefSource) Report {
 func Compare(cfg Config, eng edu.Engine, src trace.RefSource) (base, with Report, err error) {
 	bcfg := cfg
 	bcfg.Engine = edu.Null{}
+	bcfg.Verifier = nil
+	bcfg.Intruder = nil
+	bcfg.OnViolation = nil
 	bsoc, err := New(bcfg)
 	if err != nil {
 		return base, with, err

@@ -7,6 +7,7 @@ import (
 	"repro/internal/crypto/modes"
 	"repro/internal/edu"
 	"repro/internal/edu/products"
+	"repro/internal/sim/authtree"
 	"repro/internal/sim/bus"
 	"repro/internal/sim/cache"
 	"repro/internal/sim/trace"
@@ -410,5 +411,65 @@ func TestDeterministicRuns(t *testing.T) {
 	r2 := s2.Run(tr)
 	if r1.Cycles != r2.Cycles || r1.Cache != r2.Cache {
 		t.Error("identical runs diverged")
+	}
+}
+
+// The verified miss path must hold the 0 allocs/ref contract with a
+// tree authenticator installed, whether verification walks terminate in
+// the node cache (large cache: hit case) or climb to the root every
+// time (single-node cache: miss case). Steady state: tag-store entries
+// exist after the warmup run.
+func TestVerifiedMissZeroAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name           string
+		variant        authtree.Variant
+		nodeCacheBytes int
+	}{
+		{"hash-tree-cache-hits", authtree.HashTree, 64 << 10},
+		{"hash-tree-cache-misses", authtree.HashTree, 128},
+		{"counter-tree-cache-hits", authtree.CounterTree, 64 << 10},
+		{"counter-tree-cache-misses", authtree.CounterTree, 128},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ver, err := authtree.New(authtree.Config{
+				Key:       []byte("0123456789abcdef"),
+				LineBytes: 32,
+				Regions: []authtree.Region{
+					{Base: 0, Bytes: 1 << 20},
+					{Base: 0x4000_0000, Bytes: 8 << 20},
+				},
+				NodeCacheBytes: tc.nodeCacheBytes,
+				Variant:        tc.variant,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Engine = fixedEngine{block: 16, readCost: 7, writeCost: 3}
+			cfg.Verifier = ver
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := trace.SequentialSource(trace.Config{
+				Refs: 20000, Seed: 3, LoadFraction: 0.4, WriteFraction: 0.4,
+				JumpRate: 0.02, Locality: 0.5,
+			})
+			rep := s.Run(src) // warm DRAM pages, tag stores, node cache
+			if rep.AuthStalls == 0 {
+				t.Fatal("verifier charged no cycles; the test is not exercising the verified path")
+			}
+			if rep.AuthViolations != 0 {
+				t.Fatalf("%d violations on an untampered run", rep.AuthViolations)
+			}
+			if avg := testing.AllocsPerRun(3, func() { s.Run(src) }); avg != 0 {
+				t.Errorf("verified Run allocated %.1f times per 20k-ref run, want 0", avg)
+			}
+			// Sanity, not a tuning claim (the relative big-vs-small
+			// cache comparison lives in the authtree locality test).
+			if tc.nodeCacheBytes >= 64<<10 && ver.NodeHitRate() < 0.2 {
+				t.Errorf("large node cache hit rate %.2f, want >= 0.2", ver.NodeHitRate())
+			}
+		})
 	}
 }

@@ -38,6 +38,7 @@ var Sources = map[string]func(Config) RefSource{
 	"streaming":     StreamingSource,
 	"pointer-chase": PointerChaseSource,
 	"matrix-like":   MatrixLikeSource,
+	"firmware":      FirmwareSource,
 }
 
 // Drain materializes a source into a Trace (small workloads, tests).
@@ -124,6 +125,19 @@ func CodeOnlySource(cfg Config) RefSource {
 	cfg.WriteFraction = 0
 	s := SequentialSource(cfg).(*seqSource)
 	s.name = "code-only"
+	return s
+}
+
+// FirmwareSource returns a microcontroller-class Sequential stream: a
+// 16 KiB code loop over a 32 KiB hot data set — the footprint of the
+// survey's secured embedded parts, and the regime where active-attack
+// detection latency is measurable (tampered lines actually cycle back
+// through the cache; see internal/attack.Schedule).
+func FirmwareSource(cfg Config) RefSource {
+	cfg.CodeBase, cfg.CodeSize = 0, 16<<10
+	cfg.DataBase, cfg.DataSize = 0x4000_0000, 32<<10
+	s := SequentialSource(cfg).(*seqSource)
+	s.name = "firmware"
 	return s
 }
 

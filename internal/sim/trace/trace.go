@@ -224,7 +224,11 @@ var Generators = map[string]func(Config) *Trace{
 	"streaming":     Streaming,
 	"pointer-chase": PointerChase,
 	"matrix-like":   MatrixLike,
+	"firmware":      Firmware,
 }
+
+// Firmware materializes FirmwareSource (microcontroller footprint).
+func Firmware(cfg Config) *Trace { return Drain(FirmwareSource(cfg)) }
 
 // MultiProcess generates a round-robin multitasking workload: Procs
 // processes, each confined to its own code and data regions, scheduled
