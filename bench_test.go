@@ -1,5 +1,5 @@
 // Package repro's root bench file regenerates every quantitative claim
-// of the survey (DESIGN.md's experiment index E1–E21): run
+// of the survey (DESIGN.md's experiment index E1–E22): run
 //
 //	go test -bench=. -benchmem
 //
@@ -63,8 +63,9 @@ func BenchmarkE18Ablations(b *testing.B)           { runExperiment(b, "E18", ben
 func BenchmarkE19KeyManagement(b *testing.B)       { runExperiment(b, "E19", benchRefs) }
 func BenchmarkE20AuthTrees(b *testing.B)           { runExperiment(b, "E20", benchRefs) }
 func BenchmarkE21AttackSweep(b *testing.B)         { runExperiment(b, "E21", benchRefs) }
+func BenchmarkE22Hierarchy(b *testing.B)           { runExperiment(b, "E22", benchRefs) }
 
-// suiteBench runs the full E1–E21 suite at a fixed worker count; the
+// suiteBench runs the full E1–E22 suite at a fixed worker count; the
 // Sequential/Parallel pair measures the scheduler's wall-clock win.
 func suiteBench(b *testing.B, jobs int) {
 	b.Helper()
@@ -121,6 +122,40 @@ func hotLoopBench(b *testing.B, engineKey string) {
 
 func BenchmarkHotLoopPlaintext(b *testing.B) { hotLoopBench(b, "") }
 func BenchmarkHotLoopAegis(b *testing.B)     { hotLoopBench(b, "aegis") }
+
+// BenchmarkHotLoopL2 drives b.N references through a two-level system
+// (64 KiB L2, AEGIS engine at the outer boundary, counter-tree
+// verifier installed) with the first run outside the timer as warmup,
+// so allocs/op is allocations per reference on the L2 miss path — the
+// CI smoke asserts it prints "0 allocs/op" (the hard per-path
+// assertion lives in soc.TestHotLoopZeroAllocsL2).
+func BenchmarkHotLoopL2(b *testing.B) {
+	eng, err := core.MustEntry("aegis").Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := soc.DefaultConfig()
+	cfg.L2 = soc.DefaultL2Config(64 << 10)
+	cfg.Engine = eng
+	if cfg.Verifier, err = core.BuildAuthenticator("ctree", cfg.Cache.LineSize); err != nil {
+		b.Fatal(err)
+	}
+	s, err := soc.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkSrc := func(refs int) trace.RefSource {
+		return trace.SequentialSource(trace.Config{
+			Refs: refs, Seed: 1,
+			LoadFraction: 0.35, WriteFraction: 0.3, JumpRate: 0.03, Locality: 0.7,
+		})
+	}
+	s.Run(mkSrc(20000)) // warm DRAM pages, tag stores, node cache, event buffers
+	src := mkSrc(b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run(src)
+}
 
 // BenchmarkAuthTreeVerifiedRun drives a fixed 20k-reference firmware
 // workload through an XOM system with a counter-tree authenticator,

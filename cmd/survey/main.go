@@ -1,4 +1,4 @@
-// Command survey prints the full experiment suite (E1-E21): the
+// Command survey prints the full experiment suite (E1-E22): the
 // survey's comparison table, every quantitative claim reproduced on the
 // simulated SoC, and the extension experiments. Experiments are
 // submitted through the campaign scheduler, so -jobs N runs them on N
@@ -25,7 +25,7 @@ func main() {
 	var ids []string
 	if *only != "" {
 		if _, ok := core.ExperimentByID(*only); !ok {
-			fmt.Fprintf(os.Stderr, "survey: unknown experiment %q (want E1..E21)\n", *only)
+			fmt.Fprintf(os.Stderr, "survey: unknown experiment %q (want %s)\n", *only, core.ExperimentIDRange())
 			os.Exit(1)
 		}
 		ids = []string{*only}

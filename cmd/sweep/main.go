@@ -1,7 +1,7 @@
 // Command sweep runs a batch experiment campaign: it expands a grid of
-// engines × workloads × cache geometries × bus widths × trace lengths,
-// simulates every point on a bounded worker pool, and emits per-point
-// results plus a ranked per-engine summary.
+// engines × workloads × cache hierarchies × EDU placements × bus widths
+// × trace lengths, simulates every point on a bounded worker pool, and
+// emits per-point results plus a ranked per-engine summary.
 //
 // Grid axes are comma-separated lists; empty axes take defaults (all
 // engines, all workloads, the reference geometry). Integer axes accept
@@ -10,9 +10,11 @@
 //	sweep -jobs 8
 //	sweep -engines aegis,xom,gi -workloads sequential,pointer-chase
 //	sweep -cache 4K,16K,64K -line 16,32,64 -refs 30000 -format csv
+//	sweep -l2 0,64K,256K -engines aegis               # hierarchy axis
+//	sweep -l2 64K -placement l1-l2,l2-dram            # Fig. 7 placement sweep
 //	sweep -authtree none,tree,ctree -engines xom      # authentication axis
 //	sweep -authtree tree -attack 1,4,16 -format csv   # active-adversary sweep
-//	sweep -suite -jobs 4            # run the E1-E21 suite instead
+//	sweep -suite -jobs 4            # run the E1-E22 suite instead
 //
 // Output is deterministic: a -jobs 8 run emits bytes identical to a
 // -jobs 1 run (per-task RNG sharding; see internal/campaign).
@@ -34,20 +36,23 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/edu"
 )
 
 func main() {
 	engines := flag.String("engines", "", "engine keys to sweep (default: all surveyed engines)")
 	workloads := flag.String("workloads", "", "workload names to sweep (default: all generators)")
 	refsList := flag.String("refs", "", fmt.Sprintf("trace lengths to sweep (default: %d)", core.DefaultRefs))
-	cacheSizes := flag.String("cache", "", "cache sizes in bytes, K/M suffixes ok (default: 16K)")
+	cacheSizes := flag.String("cache", "", "L1 cache sizes in bytes, K/M suffixes ok (default: 16K)")
+	l2Sizes := flag.String("l2", "", "L2 cache sizes in bytes, 0 = no L2, K/M suffixes ok (default: 0)")
+	placements := flag.String("placement", "", fmt.Sprintf("EDU placements to sweep: %s (default: default)", strings.Join(edu.PlacementNames(), ",")))
 	lineSizes := flag.String("line", "", "cache line sizes in bytes (default: 32)")
 	busWidths := flag.String("bus", "", "bus widths in bytes (default: 4)")
 	auths := flag.String("authtree", "", fmt.Sprintf("authenticator keys to sweep: %s (default: none)", strings.Join(core.AuthKeys(), ",")))
 	attacks := flag.String("attack", "", "active-adversary strike rates in tampers per 10k refs (default: 0)")
 	jobs := flag.Int("jobs", campaign.DefaultJobs(), "worker pool size")
 	format := flag.String("format", "table", "output format: table, csv or json")
-	suite := flag.Bool("suite", false, "run the E1-E21 experiment suite through the pool instead of a grid")
+	suite := flag.Bool("suite", false, "run the E1-E22 experiment suite through the pool instead of a grid")
 	experiments := flag.String("experiments", "", "experiment ids for -suite, e.g. E1,E6,E17 (default: all)")
 	suiteRefs := flag.Int("suite-refs", core.DefaultRefs, "trace length for -suite experiments")
 	quiet := flag.Bool("q", false, "suppress the stderr progress line")
@@ -58,9 +63,10 @@ func main() {
 		// structured emitters do not apply, and silently ignoring them
 		// would mislead scripted callers.
 		if *engines != "" || *workloads != "" || *refsList != "" ||
-			*cacheSizes != "" || *lineSizes != "" || *busWidths != "" ||
+			*cacheSizes != "" || *l2Sizes != "" || *placements != "" ||
+			*lineSizes != "" || *busWidths != "" ||
 			*auths != "" || *attacks != "" {
-			fatal(fmt.Errorf("-suite ignores grid axes; drop -engines/-workloads/-refs/-cache/-line/-bus/-authtree/-attack (use -experiments and -suite-refs)"))
+			fatal(fmt.Errorf("-suite ignores grid axes; drop -engines/-workloads/-refs/-cache/-l2/-placement/-line/-bus/-authtree/-attack (use -experiments and -suite-refs)"))
 		}
 		if *format != "table" {
 			fatal(fmt.Errorf("-suite emits experiment tables only; -format %s is not supported", *format))
@@ -82,9 +88,10 @@ func main() {
 	}
 
 	spec := campaign.Spec{
-		Engines:   campaign.ParseList(*engines),
-		Workloads: campaign.ParseList(*workloads),
-		Auths:     campaign.ParseList(*auths),
+		Engines:    campaign.ParseList(*engines),
+		Workloads:  campaign.ParseList(*workloads),
+		Auths:      campaign.ParseList(*auths),
+		Placements: campaign.ParseList(*placements),
 	}
 	var err error
 	if spec.AttackRates, err = campaign.ParseFloatList(*attacks); err != nil {
@@ -94,6 +101,9 @@ func main() {
 		fatal(err)
 	}
 	if spec.CacheSizes, err = campaign.ParseIntList(*cacheSizes); err != nil {
+		fatal(err)
+	}
+	if spec.L2Sizes, err = campaign.ParseIntList(*l2Sizes); err != nil {
 		fatal(err)
 	}
 	if spec.LineSizes, err = campaign.ParseIntList(*lineSizes); err != nil {

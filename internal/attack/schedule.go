@@ -204,7 +204,7 @@ func (sc *Schedule) Strike(refIndex uint64, ref trace.Ref, s *soc.SoC) {
 			sc.armed = false
 			return
 		}
-		if s.Cache().Contains(sc.armedAddr) {
+		if s.Resident(sc.armedAddr) {
 			return // stay armed
 		}
 		s.DRAM().ReadInto(sc.armedAddr, sc.ctBuf)
@@ -243,7 +243,7 @@ func (sc *Schedule) pickTarget(s *soc.SoC, curLine uint64) (uint64, bool) {
 		if _, tampered := sc.pending[addr]; tampered {
 			continue // already owned; re-tampering adds nothing
 		}
-		if !s.Cache().Contains(addr) {
+		if !s.Resident(addr) {
 			return addr, true
 		}
 	}

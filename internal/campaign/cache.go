@@ -10,6 +10,12 @@ import (
 // computation (singleflight semantics) rather than duplicating work —
 // this is what lets eight engines at one grid point share a single
 // plaintext baseline simulation.
+//
+// Errors are NOT memoized: a failed computation is evicted before its
+// waiters are released, so the next lookup retries instead of replaying
+// a possibly transient error for the life of the process. Callers that
+// were already waiting on the failed computation receive its error (it
+// was their attempt too); callers arriving later start fresh.
 type memo[T any] struct {
 	mu      sync.Mutex
 	entries map[string]*memoEntry[T]
@@ -18,7 +24,7 @@ type memo[T any] struct {
 }
 
 type memoEntry[T any] struct {
-	once sync.Once
+	done chan struct{} // closed when val/err are final
 	val  T
 	err  error
 }
@@ -27,26 +33,43 @@ func newMemo[T any]() *memo[T] {
 	return &memo[T]{entries: make(map[string]*memoEntry[T])}
 }
 
-// get returns the cached value for key, computing it (exactly once
-// across all callers) if absent.
+// get returns the cached value for key, computing it if absent. Exactly
+// one caller runs the computation per attempt; a hit is only counted
+// once a completed, successful entry is served — an in-flight wait that
+// ends in an error is neither a hit nor a miss for the waiter.
 func (m *memo[T]) get(key string, compute func() (T, error)) (T, error) {
 	m.mu.Lock()
 	e, ok := m.entries[key]
 	if !ok {
-		e = &memoEntry[T]{}
+		e = &memoEntry[T]{done: make(chan struct{})}
 		m.entries[key] = e
+		m.mu.Unlock()
+
+		m.misses.Add(1)
+		e.val, e.err = compute()
+		if e.err != nil {
+			// Evict before releasing waiters: once done is closed no
+			// later lookup may observe the failed entry.
+			m.mu.Lock()
+			if m.entries[key] == e {
+				delete(m.entries, key)
+			}
+			m.mu.Unlock()
+		}
+		close(e.done)
+		return e.val, e.err
 	}
 	m.mu.Unlock()
-	if ok {
+
+	<-e.done
+	if e.err == nil {
 		m.hits.Add(1)
-	} else {
-		m.misses.Add(1)
 	}
-	e.once.Do(func() { e.val, e.err = compute() })
 	return e.val, e.err
 }
 
-// Hits reports how many lookups were served from cache.
+// Hits reports how many lookups were served a completed successful
+// value from cache.
 func (m *memo[T]) Hits() int64 { return m.hits.Load() }
 
 // Misses reports how many lookups ran the computation.

@@ -1,0 +1,127 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The negative-caching regression: a transient failure must not be
+// memoized for the life of the process. The first lookup fails, the
+// second retries and succeeds, and from then on the value is served
+// from cache.
+func TestMemoDoesNotCacheErrors(t *testing.T) {
+	m := newMemo[int]()
+	calls := 0
+	flaky := func() (int, error) {
+		calls++
+		if calls == 1 {
+			return 0, errors.New("transient")
+		}
+		return 42, nil
+	}
+	if _, err := m.get("k", flaky); err == nil {
+		t.Fatal("first lookup should surface the failure")
+	}
+	v, err := m.get("k", flaky)
+	if err != nil || v != 42 {
+		t.Fatalf("retry after error: got %d, %v; want 42, nil", v, err)
+	}
+	v, err = m.get("k", flaky)
+	if err != nil || v != 42 {
+		t.Fatalf("cached lookup: got %d, %v", v, err)
+	}
+	if calls != 2 {
+		t.Errorf("computation ran %d times, want 2 (fail, succeed, then cached)", calls)
+	}
+	if m.Misses() != 2 {
+		t.Errorf("misses = %d, want 2 (every executed computation)", m.Misses())
+	}
+	if m.Hits() != 1 {
+		t.Errorf("hits = %d, want 1 (only the served cached value)", m.Hits())
+	}
+}
+
+// Hit accounting: a hit is only counted once the entry's computation
+// has completed successfully — errored attempts count for nobody, and
+// N concurrent callers of one successful computation yield exactly one
+// miss and N-1 hits.
+func TestMemoHitAccounting(t *testing.T) {
+	m := newMemo[string]()
+	var running atomic.Int32
+	const callers = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, err := m.get("shared", func() (string, error) {
+				if running.Add(1) > 1 {
+					t.Error("computation ran concurrently with itself")
+				}
+				defer running.Add(-1)
+				return "value", nil
+			})
+			if err != nil || v != "value" {
+				t.Errorf("got %q, %v", v, err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if m.Misses() != 1 {
+		t.Errorf("misses = %d, want 1", m.Misses())
+	}
+	if m.Hits() != callers-1 {
+		t.Errorf("hits = %d, want %d", m.Hits(), callers-1)
+	}
+}
+
+// Concurrent stress across flaky keys: every caller eventually observes
+// either the error of the attempt it joined or a good value; no caller
+// ever sees a stale error after a success, and a success is computed at
+// most once per key.
+func TestMemoConcurrentRetry(t *testing.T) {
+	m := newMemo[int]()
+	var failures atomic.Int32
+	failures.Store(3)
+	var successes atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, err := m.get("k", func() (int, error) {
+					if failures.Add(-1) >= 0 {
+						return 0, fmt.Errorf("transient")
+					}
+					successes.Add(1)
+					return 7, nil
+				})
+				if err == nil {
+					if v != 7 {
+						t.Errorf("got %d", v)
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := successes.Load(); got != 1 {
+		t.Errorf("successful computation ran %d times, want 1", got)
+	}
+	// After the dust settles the value is cached.
+	before := m.Misses()
+	if v, err := m.get("k", func() (int, error) { return 0, fmt.Errorf("must not run") }); err != nil || v != 7 {
+		t.Errorf("post-stress lookup: %d, %v", v, err)
+	}
+	if m.Misses() != before {
+		t.Error("post-stress lookup recomputed")
+	}
+}

@@ -21,7 +21,12 @@ type Result struct {
 	Cycles       uint64  `json:"cycles"`
 	Overhead     float64 `json:"overhead"`
 	EngineStalls uint64  `json:"engine_stalls"`
-	RMWEvents    uint64  `json:"rmw_events"`
+	// EngineLines counts line transfers that crossed the EDU boundary
+	// (soc.Report.EngineLines): the unit's exposed bandwidth, the
+	// quantity the placement axis trades against (an L2 filters the
+	// miss traffic an outer EDU must transform).
+	EngineLines uint64 `json:"engine_lines"`
+	RMWEvents   uint64 `json:"rmw_events"`
 	// AuthGates is the authenticator's on-chip area (0 for auth=none);
 	// AuthStalls its share of the stall cycles.
 	AuthGates  int    `json:"auth_gates,omitempty"`
@@ -93,13 +98,24 @@ func (r *Runner) Run(jobs int) *Report {
 }
 
 // socConfig builds the system geometry for a grid point, starting from
-// the experiments' reference system.
-func socConfig(cfg TaskConfig) soc.Config {
+// the experiments' reference system. The returned config carries the
+// task's EDU placement; baseline runs clear it (a Null-engine system
+// has no EDU boundary).
+func socConfig(cfg TaskConfig) (soc.Config, error) {
 	sc := soc.DefaultConfig()
 	sc.Cache.Size = cfg.CacheSize
 	sc.Cache.LineSize = cfg.LineSize
 	sc.Bus.WidthBytes = cfg.BusWidth
-	return sc
+	if cfg.L2Size > 0 {
+		sc.L2 = soc.DefaultL2Config(cfg.L2Size)
+		sc.L2.LineSize = cfg.LineSize
+	}
+	p, err := edu.ParsePlacement(cfg.Placement)
+	if err != nil {
+		return soc.Config{}, err
+	}
+	sc.Placement = p
+	return sc, nil
 }
 
 // runTask measures one grid point: generate the point's trace from its
@@ -119,14 +135,18 @@ func (r *Runner) runTask(cfg TaskConfig) Result {
 	if _, ok := trace.Sources[cfg.Workload]; !ok {
 		return fail(fmt.Errorf("campaign: unknown workload %q", cfg.Workload))
 	}
-	sc := socConfig(cfg)
+	sc, err := socConfig(cfg)
+	if err != nil {
+		return fail(err)
+	}
 
-	// The baseline is engine-independent: memoized under the point key,
-	// so the first task at a grid point simulates it and every other
-	// engine there reuses the report.
-	base, err := r.baselines.get(cfg.PointKey(), func() (soc.Report, error) {
+	// The baseline is protection-independent: memoized under the
+	// (point, hierarchy) key, so the first task there simulates it and
+	// every other engine/auth/placement combination reuses the report.
+	base, err := r.baselines.get(cfg.BaselineKey(), func() (soc.Report, error) {
 		bcfg := sc
 		bcfg.Engine = edu.Null{}
+		bcfg.Placement = edu.PlacementNone
 		s, err := soc.New(bcfg)
 		if err != nil {
 			return soc.Report{}, err
@@ -186,6 +206,7 @@ func (r *Runner) runTask(cfg TaskConfig) Result {
 	res.Cycles = with.Cycles
 	res.Overhead = with.OverheadVs(base)
 	res.EngineStalls = with.EngineStalls
+	res.EngineLines = with.EngineLines
 	res.RMWEvents = with.RMWEvents
 	if ver != nil {
 		res.AuthGates = ver.Gates()

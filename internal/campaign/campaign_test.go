@@ -232,3 +232,95 @@ func TestSweepDeterminismWithAttacks(t *testing.T) {
 		t.Error("no authenticated point charged verifier cycles")
 	}
 }
+
+// The determinism contract must survive the hierarchy axes, and the
+// sharing rules must hold: every placement at one (point, L2) shares a
+// baseline, every L2 at one point shares a trace, and the cells whose
+// placement needs an L2 that is not there fail alone.
+func TestSweepDeterminismWithHierarchy(t *testing.T) {
+	spec := func() Spec {
+		return Spec{
+			Engines:    []string{"aegis"},
+			Workloads:  []string{"firmware"},
+			Refs:       []int{6000},
+			L2Sizes:    []int{0, 32 << 10},
+			Placements: []string{"", "l1-l2", "l2-dram"},
+		}
+	}
+	emitAll := func(jobs int) map[string]string {
+		rep, err := Sweep(spec(), jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string)
+		for _, format := range Formats {
+			var buf bytes.Buffer
+			if err := Emit(&buf, rep, format); err != nil {
+				t.Fatalf("emit %s: %v", format, err)
+			}
+			out[format] = buf.String()
+		}
+		return out
+	}
+	seq := emitAll(1)
+	par := emitAll(8)
+	for _, format := range Formats {
+		if seq[format] != par[format] {
+			t.Errorf("%s output differs between jobs=1 and jobs=8 with hierarchy axes:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s",
+				format, seq[format], par[format])
+		}
+	}
+
+	r, err := NewRunner(spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Run(8)
+	baseAt := map[string]uint64{}
+	var failedNoL2, okPoints int
+	for _, res := range rep.Results {
+		if res.L2Size == 0 && (res.Placement == "l1-l2" || res.Placement == "l2-dram") {
+			if res.Err == "" {
+				t.Errorf("point %s: L2 placement without an L2 did not fail", res.Key())
+			}
+			failedNoL2++
+			continue
+		}
+		if res.Err != "" {
+			t.Errorf("point %s failed: %s", res.Key(), res.Err)
+			continue
+		}
+		okPoints++
+		// One baseline per (point, hierarchy): same BaseCycles across
+		// placements, different across L2 sizes (an L2 changes the
+		// plaintext system).
+		bk := res.BaselineKey()
+		if prev, ok := baseAt[bk]; ok && prev != res.BaseCycles {
+			t.Errorf("baseline %s: cycles differ across placements (%d vs %d)", bk, prev, res.BaseCycles)
+		}
+		baseAt[bk] = res.BaseCycles
+	}
+	if failedNoL2 != 2 {
+		t.Errorf("expected exactly the 2 placement-without-L2 cells to fail, got %d", failedNoL2)
+	}
+	if len(baseAt) != 2 {
+		t.Errorf("expected 2 distinct baselines (single-level + 32K L2), got %d", len(baseAt))
+	}
+	if got, want := r.BaselineRuns(), int64(2); got != want {
+		t.Errorf("baseline simulations = %d, want %d (one per hierarchy)", got, want)
+	}
+	// The outer placement must actually be filtered relative to inner
+	// at the 32K point — the sweep carries E22's argument.
+	var inner, outer uint64
+	for _, res := range rep.Results {
+		if res.L2Size > 0 && res.Placement == "l1-l2" {
+			inner = res.EngineLines
+		}
+		if res.L2Size > 0 && res.Placement == "l2-dram" {
+			outer = res.EngineLines
+		}
+	}
+	if inner == 0 || outer >= inner {
+		t.Errorf("engine exposure not filtered: inner %d, outer %d", inner, outer)
+	}
+}

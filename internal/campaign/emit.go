@@ -41,8 +41,10 @@ func EmitJSON(w io.Writer, rep *Report) error {
 func EmitCSV(w io.Writer, rep *Report) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"engine", "auth", "attack_rate", "workload", "refs", "cache_size", "line_size", "bus_width",
-		"gates", "auth_gates", "base_cycles", "cycles", "overhead", "engine_stalls", "auth_stalls",
+		"engine", "auth", "attack_rate", "placement", "workload", "refs",
+		"cache_size", "l2_size", "line_size", "bus_width",
+		"gates", "auth_gates", "base_cycles", "cycles", "overhead",
+		"engine_stalls", "engine_lines", "auth_stalls",
 		"rmw_events", "violations", "injected", "detected", "detection_rate", "mean_detect_latency", "err",
 	}); err != nil {
 		return err
@@ -50,12 +52,14 @@ func EmitCSV(w io.Writer, rep *Report) error {
 	for _, r := range rep.Results {
 		row := []string{
 			r.Engine, r.Auth, strconv.FormatFloat(r.AttackRate, 'g', -1, 64),
-			r.Workload, strconv.Itoa(r.Refs),
-			strconv.Itoa(r.CacheSize), strconv.Itoa(r.LineSize), strconv.Itoa(r.BusWidth),
+			r.PlacementName(), r.Workload, strconv.Itoa(r.Refs),
+			strconv.Itoa(r.CacheSize), strconv.Itoa(r.L2Size),
+			strconv.Itoa(r.LineSize), strconv.Itoa(r.BusWidth),
 			strconv.Itoa(r.Gates), strconv.Itoa(r.AuthGates),
 			strconv.FormatUint(r.BaseCycles, 10), strconv.FormatUint(r.Cycles, 10),
 			strconv.FormatFloat(r.Overhead, 'f', 6, 64),
-			strconv.FormatUint(r.EngineStalls, 10), strconv.FormatUint(r.AuthStalls, 10),
+			strconv.FormatUint(r.EngineStalls, 10), strconv.FormatUint(r.EngineLines, 10),
+			strconv.FormatUint(r.AuthStalls, 10),
 			strconv.FormatUint(r.RMWEvents, 10), strconv.FormatUint(r.Violations, 10),
 			strconv.FormatUint(r.Injected, 10), strconv.FormatUint(r.Detected, 10),
 			strconv.FormatFloat(r.DetectionRate, 'f', 4, 64),
@@ -74,20 +78,36 @@ func EmitCSV(w io.Writer, rep *Report) error {
 // by the ranked summary, in the same aligned-table style as the
 // experiment suite.
 func EmitTable(w io.Writer, rep *Report) error {
-	// The adversary columns only earn their width when the sweep
-	// actually has an auth/attack axis.
-	hasAuth := false
+	// The adversary and hierarchy columns only earn their width when
+	// the sweep actually has those axes.
+	hasAuth, hasHier := false, false
 	for _, r := range rep.Results {
 		if (r.Auth != "" && r.Auth != "none") || r.AttackRate > 0 {
 			hasAuth = true
-			break
+		}
+		if r.L2Size > 0 || r.Placement != "" {
+			hasHier = true
 		}
 	}
-	header := []string{"engine", "workload", "refs", "cache", "line", "bus", "overhead", "rmw", "status"}
+	header := []string{"engine"}
 	if hasAuth {
-		header = []string{"engine", "auth", "atk", "workload", "refs", "cache", "line", "bus",
-			"overhead", "rmw", "det", "lat", "status"}
+		header = append(header, "auth", "atk")
 	}
+	if hasHier {
+		header = append(header, "place")
+	}
+	header = append(header, "workload", "refs", "cache")
+	if hasHier {
+		header = append(header, "l2")
+	}
+	header = append(header, "line", "bus", "overhead", "rmw")
+	if hasHier {
+		header = append(header, "edu-lines")
+	}
+	if hasAuth {
+		header = append(header, "det", "lat")
+	}
+	header = append(header, "status")
 	grid := &core.Table{
 		ID:     "SWEEP",
 		Title:  fmt.Sprintf("campaign grid (%d points)", len(rep.Results)),
@@ -100,22 +120,37 @@ func EmitTable(w io.Writer, rep *Report) error {
 			status = r.Err
 			overhead = "-"
 		}
-		if !hasAuth {
-			grid.AddRow(r.Engine, r.Workload, r.Refs,
-				sizeCell(r.CacheSize), r.LineSize, r.BusWidth,
-				overhead, r.RMWEvents, status)
-			continue
+		row := []interface{}{r.Engine}
+		if hasAuth {
+			row = append(row, r.Auth, r.AttackRate)
 		}
-		det, lat := "-", "-"
-		if r.AttackRate > 0 && r.Err == "" {
-			det = fmt.Sprintf("%d/%d", r.Detected, r.Injected)
-			if r.Detected > 0 {
-				lat = fmt.Sprintf("%.0f", r.MeanDetectLatency)
+		if hasHier {
+			row = append(row, r.PlacementName())
+		}
+		row = append(row, r.Workload, r.Refs, sizeCell(r.CacheSize))
+		if hasHier {
+			l2 := "-"
+			if r.L2Size > 0 {
+				l2 = sizeCell(r.L2Size)
 			}
+			row = append(row, l2)
 		}
-		grid.AddRow(r.Engine, r.Auth, r.AttackRate, r.Workload, r.Refs,
-			sizeCell(r.CacheSize), r.LineSize, r.BusWidth,
-			overhead, r.RMWEvents, det, lat, status)
+		row = append(row, r.LineSize, r.BusWidth, overhead, r.RMWEvents)
+		if hasHier {
+			row = append(row, r.EngineLines)
+		}
+		if hasAuth {
+			det, lat := "-", "-"
+			if r.AttackRate > 0 && r.Err == "" {
+				det = fmt.Sprintf("%d/%d", r.Detected, r.Injected)
+				if r.Detected > 0 {
+					lat = fmt.Sprintf("%.0f", r.MeanDetectLatency)
+				}
+			}
+			row = append(row, det, lat)
+		}
+		row = append(row, status)
+		grid.AddRow(row...)
 	}
 	if _, err := fmt.Fprintln(w, grid); err != nil {
 		return err

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"math"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -72,5 +74,96 @@ func TestEmitTableAndUnknownFormat(t *testing.T) {
 	}
 	if err := Emit(&buf, rep, "yaml"); err == nil {
 		t.Error("unknown format should error")
+	}
+}
+
+// A sweep mixing attack-rate 0, a rate too low to ever strike
+// (Injected == 0 with a live schedule), and a striking rate must emit
+// finite numbers through every emitter: json.Marshal rejects NaN
+// outright, and the csv/table detection cells must parse as 0 for the
+// quiet rows — the Injected==0 division guards in
+// attack.Schedule.DetectionRate/MeanLatency, exercised end to end.
+func TestEmittersFiniteWithMixedAttackRates(t *testing.T) {
+	rep, err := Sweep(Spec{
+		Engines:   []string{"aegis"},
+		Workloads: []string{"firmware"},
+		Refs:      []int{8000},
+		Auths:     []string{"tree"},
+		// 0.1/10k => first strike due at ref 100000, far beyond 8000
+		// refs: a live schedule that never injects.
+		AttackRates: []float64{0, 0.1, 16},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawQuietSchedule, sawStrikes bool
+	for _, r := range rep.Results {
+		if r.Err != "" {
+			t.Fatalf("point %s failed: %s", r.Key(), r.Err)
+		}
+		if r.AttackRate == 0.1 {
+			sawQuietSchedule = true
+			if r.Injected != 0 {
+				t.Fatalf("rate 0.1 injected %d strikes in 8000 refs; the quiet-schedule case is gone", r.Injected)
+			}
+			if r.DetectionRate != 0 || r.MeanDetectLatency != 0 {
+				t.Errorf("Injected==0 row carries nonzero detection metrics: rate=%v lat=%v",
+					r.DetectionRate, r.MeanDetectLatency)
+			}
+		}
+		if r.Injected > 0 {
+			sawStrikes = true
+		}
+		for name, v := range map[string]float64{
+			"overhead": r.Overhead, "detection_rate": r.DetectionRate, "mean_detect_latency": r.MeanDetectLatency,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("point %s: %s = %v", r.Key(), name, v)
+			}
+		}
+	}
+	if !sawQuietSchedule || !sawStrikes {
+		t.Fatalf("grid did not cover both quiet (%v) and striking (%v) schedules", sawQuietSchedule, sawStrikes)
+	}
+
+	// JSON must encode (it rejects NaN/Inf with an error)...
+	var buf bytes.Buffer
+	if err := EmitJSON(&buf, rep); err != nil {
+		t.Fatalf("json emit failed (NaN reached the encoder?): %v", err)
+	}
+	// ...CSV's numeric detection cells must all parse finite...
+	buf.Reset()
+	if err := EmitCSV(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := rows[0]
+	col := func(name string) int {
+		for i, h := range header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("csv missing column %q", name)
+		return -1
+	}
+	for _, row := range rows[1:] {
+		for _, name := range []string{"detection_rate", "mean_detect_latency", "overhead"} {
+			v, err := strconv.ParseFloat(row[col(name)], 64)
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("csv %s cell %q not a finite number (%v)", name, row[col(name)], err)
+			}
+		}
+	}
+	// ...and the table emitter must render without panicking.
+	buf.Reset()
+	if err := EmitTable(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("table output contains NaN")
 	}
 }

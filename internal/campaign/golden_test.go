@@ -1,0 +1,80 @@
+package campaign
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the emitter golden files")
+
+// goldenSpec is a small fixed grid covering every emitter column class:
+// bare and authenticated points, quiet and attacked points, single- and
+// two-level hierarchies, default and explicit placements — including
+// the l2-dram × no-L2 cells, which pin the failed-cell rendering.
+func goldenSpec() Spec {
+	return Spec{
+		Engines:     []string{"xom"},
+		Workloads:   []string{"firmware"},
+		Refs:        []int{2000},
+		Auths:       []string{"none", "ctree"},
+		AttackRates: []float64{0, 8},
+		L2Sizes:     []int{0, 32 << 10},
+		Placements:  []string{"", "l2-dram"},
+	}
+}
+
+// TestEmitGolden pins the exact bytes of all three emitters on the
+// fixed spec, so a future PR that drifts a column — reordering,
+// renaming, reformatting — fails here instead of silently reshaping
+// downstream parsing. Regenerate deliberately with:
+//
+//	go test ./internal/campaign -run TestEmitGolden -update
+func TestEmitGolden(t *testing.T) {
+	rep, err := Sweep(goldenSpec(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range Formats {
+		t.Run(format, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Emit(&buf, rep, format); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "sweep."+format+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create the golden files)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s output drifted from %s (refresh deliberately with -update):\n%s",
+					format, path, firstDiff(want, buf.Bytes()))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first differing line of got vs want.
+func firstDiff(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("line %d:\n want: %s\n  got: %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: want %d, got %d", len(wl), len(gl))
+}

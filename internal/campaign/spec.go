@@ -1,10 +1,11 @@
 // Package campaign is the batch experiment-sweep engine: it expands a
-// declarative grid spec (engines × workloads × cache geometries × bus
-// widths × trace lengths) into tasks, runs them on a bounded worker
-// pool with deterministic per-task RNG sharding, caches shared
-// plaintext baselines so each (geometry, workload) point is simulated
-// once rather than once per engine, and aggregates the results into
-// ranked summaries with JSON/CSV/table emitters.
+// declarative grid spec (engines × authenticators × attack rates × EDU
+// placements × workloads × cache hierarchies × bus widths × trace
+// lengths) into tasks, runs them on a bounded worker pool with
+// deterministic per-task RNG sharding, caches shared plaintext
+// baselines so each (geometry, workload) point is simulated once
+// rather than once per protection configuration, and aggregates the
+// results into ranked summaries with JSON/CSV/table emitters.
 //
 // Determinism is the subsystem's contract: every task derives its trace
 // seed from a stable hash of its configuration (excluding the engine,
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/edu"
 	"repro/internal/sim/trace"
 )
 
@@ -35,8 +37,14 @@ type Spec struct {
 	Workloads []string `json:"workloads"`
 	// Refs are trace lengths to sweep; default {core.DefaultRefs}.
 	Refs []int `json:"refs"`
-	// CacheSizes are cache capacities in bytes; default {16 KiB}.
+	// CacheSizes are L1 cache capacities in bytes; default {16 KiB}.
 	CacheSizes []int `json:"cache_sizes"`
+	// L2Sizes are second-level cache capacities in bytes; 0 means no L2
+	// (the single-level system). Default {0}. Like Placements, the axis
+	// stays outside the engine-independent point key, so every depth at
+	// a grid point measures the same trace; the plaintext baseline is
+	// keyed per (point, L2) because an L2 changes baseline cycles.
+	L2Sizes []int `json:"l2_sizes"`
 	// LineSizes are cache line sizes in bytes; default {32}.
 	LineSizes []int `json:"line_sizes"`
 	// BusWidths are external bus widths in bytes; default {4}.
@@ -51,6 +59,12 @@ type Spec struct {
 	// adversary). Nonzero rates populate the detection-rate and
 	// detection-latency columns.
 	AttackRates []float64 `json:"attack_rates"`
+	// Placements are EDU/verifier boundaries (edu.ParsePlacement:
+	// "default", "cpu-l1", "l1-l2", "l2-dram"); default {""} (the
+	// outermost boundary of whatever hierarchy the point has). A
+	// placement that requires an L2 fails its single-level cells, not
+	// the sweep. Protection-side like Auths: outside the point key.
+	Placements []string `json:"placements"`
 }
 
 // Fill applies defaults to empty axes.
@@ -69,6 +83,9 @@ func (s *Spec) Fill() {
 	if len(s.CacheSizes) == 0 {
 		s.CacheSizes = []int{16 << 10}
 	}
+	if len(s.L2Sizes) == 0 {
+		s.L2Sizes = []int{0}
+	}
 	if len(s.LineSizes) == 0 {
 		s.LineSizes = []int{32}
 	}
@@ -80,6 +97,9 @@ func (s *Spec) Fill() {
 	}
 	if len(s.AttackRates) == 0 {
 		s.AttackRates = []float64{0}
+	}
+	if len(s.Placements) == 0 {
+		s.Placements = []string{""}
 	}
 }
 
@@ -108,6 +128,16 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("campaign: non-positive cache size %d", v)
 		}
 	}
+	for _, v := range s.L2Sizes {
+		if v < 0 {
+			return fmt.Errorf("campaign: negative L2 size %d", v)
+		}
+	}
+	for _, p := range s.Placements {
+		if _, err := edu.ParsePlacement(p); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+	}
 	for _, v := range s.LineSizes {
 		if v <= 0 {
 			return fmt.Errorf("campaign: non-positive line size %d", v)
@@ -134,9 +164,9 @@ func (s *Spec) Validate() error {
 // Size returns the number of tasks the grid expands to.
 func (s *Spec) Size() int {
 	s.Fill()
-	return len(s.Engines) * len(s.Auths) * len(s.AttackRates) *
+	return len(s.Engines) * len(s.Auths) * len(s.AttackRates) * len(s.Placements) *
 		len(s.Workloads) * len(s.Refs) *
-		len(s.CacheSizes) * len(s.LineSizes) * len(s.BusWidths)
+		len(s.CacheSizes) * len(s.L2Sizes) * len(s.LineSizes) * len(s.BusWidths)
 }
 
 // WorkloadNames lists the sweepable workloads in stable order.

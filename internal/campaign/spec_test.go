@@ -88,15 +88,31 @@ func TestHashStability(t *testing.T) {
 	// The seed derivation must be stable across processes and releases:
 	// a change here silently invalidates every recorded sweep.
 	cfg := TaskConfig{Engine: "aegis", Workload: "sequential", Refs: 60000, CacheSize: 16 << 10, LineSize: 32, BusWidth: 4}
-	const wantKey = "engine=aegis auth=none attack=0 workload=sequential refs=60000 cache=16384 line=32 bus=4"
+	const wantKey = "engine=aegis auth=none attack=0 place=default l2=0 workload=sequential refs=60000 cache=16384 line=32 bus=4"
 	if cfg.Key() != wantKey {
 		t.Errorf("Key = %q, want %q", cfg.Key(), wantKey)
 	}
-	// The trace seed derives from PointKey, which the auth/attack axes
-	// deliberately do NOT touch: recorded sweeps keep their traces.
+	// The trace seed derives from PointKey, which the auth/attack/
+	// placement/L2 axes deliberately do NOT touch: recorded sweeps keep
+	// their traces, and every hierarchy depth at a point measures the
+	// same reference stream.
 	const wantPoint = "workload=sequential refs=60000 cache=16384 line=32 bus=4"
 	if cfg.PointKey() != wantPoint {
 		t.Errorf("PointKey = %q, want %q", cfg.PointKey(), wantPoint)
+	}
+	// A single-level task's baseline key equals its point key, so
+	// pre-hierarchy sweeps reuse exactly the baselines they always did;
+	// an L2 forks the baseline (its cycles differ) but not the trace.
+	if cfg.BaselineKey() != wantPoint {
+		t.Errorf("single-level BaselineKey = %q, want %q", cfg.BaselineKey(), wantPoint)
+	}
+	l2cfg := cfg
+	l2cfg.L2Size = 64 << 10
+	if l2cfg.BaselineKey() == cfg.BaselineKey() {
+		t.Error("an L2 must fork the baseline key")
+	}
+	if l2cfg.Seed() != cfg.Seed() {
+		t.Error("an L2 must not fork the trace seed")
 	}
 	if cfg.Hash() != hashString(wantKey) {
 		t.Errorf("Hash does not match FNV-1a of Key")

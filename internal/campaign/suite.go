@@ -8,7 +8,7 @@ import (
 
 // RunSuite executes the named experiments from the core registry on the
 // campaign worker pool and returns their tables in registry order (the
-// order ids were given). Empty ids means the whole E1–E21 suite.
+// order ids were given). Empty ids means the whole E1–E22 suite.
 //
 // Experiments are independent closed-form drivers — each builds its own
 // engines and seeds its own traces — so running them concurrently
@@ -23,7 +23,7 @@ func RunSuite(ids []string, refs, jobs int) ([]*core.Table, error) {
 		for _, id := range ids {
 			exp, ok := core.ExperimentByID(id)
 			if !ok {
-				return nil, fmt.Errorf("campaign: unknown experiment %q (want E1..E21)", id)
+				return nil, fmt.Errorf("campaign: unknown experiment %q (want %s)", id, core.ExperimentIDRange())
 			}
 			exps = append(exps, exp)
 		}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// E22's table must carry the placement argument in its cells: every
+// verdict column asserts true (inner boundaries see the unfiltered L1
+// miss stream, the outer boundary sees strictly less), and the firmware
+// workload — whose footprint fits the L2 — shows substantial filtering.
+func TestE22Hierarchy(t *testing.T) {
+	tbl, err := E22Hierarchy(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 18 {
+		t.Fatalf("%d rows, want 18 (3 workloads x 6 hierarchy points)", len(tbl.Rows))
+	}
+	var firmwareFiltered float64
+	for _, row := range tbl.Rows {
+		wl, placement, filtered, verdict := row[0], row[2], row[4], row[6]
+		if verdict != "-" && verdict != "true" {
+			t.Errorf("%s @ %s: verdict %q, want true", wl, placement, verdict)
+		}
+		if placement == "l2<->dram" {
+			if filtered == "-" {
+				t.Errorf("%s @ %s: no filtered share reported", wl, placement)
+				continue
+			}
+			pct, err := strconv.ParseFloat(strings.TrimSuffix(filtered, "%"), 64)
+			if err != nil {
+				t.Errorf("%s @ %s: bad filtered cell %q", wl, placement, filtered)
+				continue
+			}
+			if pct <= 0 {
+				t.Errorf("%s @ %s: outer placement filtered nothing (%s)", wl, placement, filtered)
+			}
+			if wl == "firmware" && pct > firmwareFiltered {
+				firmwareFiltered = pct
+			}
+		}
+	}
+	// The quantitative heart of the experiment: a footprint that fits
+	// the L2 shields the outer EDU from a large share of the traffic.
+	if firmwareFiltered < 30 {
+		t.Errorf("firmware best-case filtered share %.1f%%, want >= 30%%", firmwareFiltered)
+	}
+}

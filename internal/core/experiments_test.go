@@ -360,8 +360,8 @@ func TestFullSuiteRuns(t *testing.T) {
 		}
 		tables = append(tables, tbl)
 	}
-	if len(tables) != 21 {
-		t.Fatalf("%d tables, want 21", len(tables))
+	if len(tables) != 22 {
+		t.Fatalf("%d tables, want 22", len(tables))
 	}
 	for _, tbl := range tables {
 		if len(tbl.Rows) == 0 {

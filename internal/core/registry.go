@@ -1,12 +1,15 @@
 package core
 
-import "strings"
+import (
+	"fmt"
+	"strings"
+)
 
 // Experiment is one entry of the DESIGN.md experiment index: a stable
 // ID and a runner. Experiments whose cost is not trace-driven (E4, E9,
 // E13–E15) ignore the refs argument.
 type Experiment struct {
-	// ID is the index identifier, "E1".."E21".
+	// ID is the index identifier, "E1".."E22".
 	ID string
 	// Title is the one-line description used by listings.
 	Title string
@@ -41,6 +44,7 @@ func Experiments() []Experiment {
 		{"E19", "per-process bus keys under multitasking (extension)", E19KeyManagement},
 		{"E20", "authentication trees vs flat MAC design space (extension)", E20AuthTrees},
 		{"E21", "active-adversary attack-rate sweep (extension)", E21AttackSweep},
+		{"E22", "EDU placement across a two-level hierarchy (extension)", E22Hierarchy},
 	}
 }
 
@@ -53,4 +57,11 @@ func ExperimentByID(id string) (Experiment, bool) {
 		}
 	}
 	return Experiment{}, false
+}
+
+// ExperimentIDRange names the suite's span for error messages, so CLI
+// hints track the registry as experiments are added.
+func ExperimentIDRange() string {
+	exps := Experiments()
+	return fmt.Sprintf("%s..%s", exps[0].ID, exps[len(exps)-1].ID)
 }

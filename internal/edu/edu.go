@@ -11,6 +11,8 @@
 // implementation in a subpackage.
 package edu
 
+import "fmt"
+
 // Placement locates the EDU in the memory hierarchy (Figure 7).
 type Placement int
 
@@ -26,6 +28,14 @@ const (
 	// is hard: it touches the CPU-cache critical path and needs an
 	// on-chip keystream store as large as the cache.
 	PlacementCPUCache
+	// PlacementL1L2 generalizes Figure 7 to a two-level hierarchy: the
+	// EDU sits between the L1 and L2 caches, so the L2 and everything
+	// beyond it hold ciphertext and every L1 miss crosses the unit.
+	PlacementL1L2
+	// PlacementL2DRAM is the AEGIS-evaluated configuration: the EDU at
+	// the outer edge of a two-level hierarchy, where the L2 has already
+	// filtered the miss traffic the unit must transform.
+	PlacementL2DRAM
 )
 
 // String names the placement as the survey's figures do.
@@ -37,8 +47,38 @@ func (p Placement) String() string {
 		return "cache<->memctrl"
 	case PlacementCPUCache:
 		return "cpu<->cache"
+	case PlacementL1L2:
+		return "l1<->l2"
+	case PlacementL2DRAM:
+		return "l2<->dram"
 	default:
 		return "unknown"
+	}
+}
+
+// PlacementNames lists the sweepable placement vocabulary accepted by
+// ParsePlacement, in hierarchy order (flag help, validation).
+func PlacementNames() []string {
+	return []string{"default", "cpu-l1", "l1-l2", "l2-dram"}
+}
+
+// ParsePlacement resolves the CLI/campaign placement vocabulary: "" or
+// "default" selects the outermost boundary of whatever hierarchy is
+// configured (the pre-hierarchy behavior), "cpu-l1" the Figure 7b CPU-
+// side boundary, "l1-l2" and "l2-dram" the two boundaries of a
+// two-level hierarchy.
+func ParsePlacement(name string) (Placement, error) {
+	switch name {
+	case "", "default":
+		return PlacementNone, nil
+	case "cpu-l1":
+		return PlacementCPUCache, nil
+	case "l1-l2":
+		return PlacementL1L2, nil
+	case "l2-dram":
+		return PlacementL2DRAM, nil
+	default:
+		return PlacementNone, fmt.Errorf("edu: unknown placement %q (want default, cpu-l1, l1-l2 or l2-dram)", name)
 	}
 }
 

@@ -81,3 +81,36 @@ func TestNullEngine(t *testing.T) {
 		t.Error("null decrypt not identity")
 	}
 }
+
+func TestParsePlacement(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Placement
+	}{
+		{"", PlacementNone},
+		{"default", PlacementNone},
+		{"cpu-l1", PlacementCPUCache},
+		{"l1-l2", PlacementL1L2},
+		{"l2-dram", PlacementL2DRAM},
+	}
+	for _, c := range cases {
+		got, err := ParsePlacement(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParsePlacement(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParsePlacement("l3-dram"); err == nil {
+		t.Error("unknown placement accepted")
+	}
+	// Every vocabulary name must round-trip through the parser.
+	for _, name := range PlacementNames() {
+		if _, err := ParsePlacement(name); err != nil {
+			t.Errorf("listed name %q rejected: %v", name, err)
+		}
+	}
+	for _, p := range []Placement{PlacementNone, PlacementCacheMem, PlacementCPUCache, PlacementL1L2, PlacementL2DRAM} {
+		if p.String() == "unknown" {
+			t.Errorf("placement %d has no name", p)
+		}
+	}
+}

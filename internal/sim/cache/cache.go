@@ -192,7 +192,28 @@ func (c *Cache) Access(addr uint64, isStore bool) Result {
 		return res
 	}
 
-	// Choose a victim: first invalid way, else policy minimum.
+	victim, wbAddr, writeback := c.victimWay(set)
+	if writeback {
+		res.Writeback = true
+		res.WritebackAddr = wbAddr
+	}
+
+	ways[victim] = line{tag: tag, valid: true, used: c.tick}
+	if isStore && c.cfg.WriteMode == WriteBack {
+		ways[victim].dirty = true
+	}
+	res.Slot = int(set)*c.cfg.Ways + victim
+	res.Fill = true
+	res.FillAddr = c.LineAddr(addr)
+	return res
+}
+
+// victimWay chooses the replacement way in set — the first invalid way,
+// else the policy minimum — counting the eviction and dirty-writeback
+// stats exactly as a demand miss does. It reports the line-aligned
+// address of a dirty victim that must spill before the way is reused.
+func (c *Cache) victimWay(set uint64) (way int, wbAddr uint64, writeback bool) {
+	ways := c.sets[set]
 	victim := -1
 	for i := range ways {
 		if !ways[i].valid {
@@ -210,19 +231,46 @@ func (c *Cache) Access(addr uint64, isStore bool) Result {
 		c.stats.Evictions++
 		if ways[victim].dirty {
 			c.stats.Writebacks++
-			res.Writeback = true
-			res.WritebackAddr = (ways[victim].tag*c.setsN + set) * uint64(c.cfg.LineSize)
+			writeback = true
+			wbAddr = (ways[victim].tag*c.setsN + set) * uint64(c.cfg.LineSize)
+		}
+	}
+	return victim, wbAddr, writeback
+}
+
+// Install allocates addr's line as a whole-line write arriving from the
+// level above — an upper level's dirty writeback landing in this one.
+// No fill from below is needed (every byte of the line is being
+// overwritten), so the line is installed, or updated in place if
+// already resident, and marked dirty. It returns the line's storage
+// slot and the dirty victim (if any) whose contents must spill onward
+// before the slot's side storage is reused. Installs share the
+// hit/miss/eviction counters with demand accesses: this level's Stats
+// describe all traffic arriving at it, not only CPU-side demand.
+func (c *Cache) Install(addr uint64) (slot int, victim DirtyLine, hasVictim bool) {
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	c.tick++
+
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.stats.Hits++
+			if c.cfg.Policy == LRU {
+				ways[i].used = c.tick
+			}
+			ways[i].dirty = true
+			return int(set)*c.cfg.Ways + i, DirtyLine{}, false
 		}
 	}
 
-	ways[victim] = line{tag: tag, valid: true, used: c.tick}
-	if isStore && c.cfg.WriteMode == WriteBack {
-		ways[victim].dirty = true
+	c.stats.Misses++
+	way, wbAddr, writeback := c.victimWay(set)
+	if writeback {
+		victim = DirtyLine{Addr: wbAddr, Slot: int(set)*c.cfg.Ways + way}
+		hasVictim = true
 	}
-	res.Slot = int(set)*c.cfg.Ways + victim
-	res.Fill = true
-	res.FillAddr = c.LineAddr(addr)
-	return res
+	ways[way] = line{tag: tag, valid: true, used: c.tick, dirty: true}
+	return int(set)*c.cfg.Ways + way, victim, hasVictim
 }
 
 // Lines returns the total number of line slots (sets x ways) — the

@@ -1,8 +1,8 @@
 // Package soc composes the simulated system-on-chip of the survey's
-// Figure 2c: trace-driven CPU core, on-chip cache, an encryption/
-// decryption unit at one of the Figure 7 placements, the external bus
-// (probe-able), and external DRAM. It produces the cycle counts from
-// which every experiment's overhead figure is derived.
+// Figure 2c: trace-driven CPU core, one or two levels of on-chip cache,
+// an encryption/decryption unit at one of the Figure 7 placements, the
+// external bus (probe-able), and external DRAM. It produces the cycle
+// counts from which every experiment's overhead figure is derived.
 //
 // The timing model is deterministic cycle accounting for an in-order,
 // single-issue core: each trace reference contributes its compute gap,
@@ -21,20 +21,43 @@ import (
 	"repro/internal/sim/trace"
 )
 
+// DefaultL2HitCycles is the L2 access latency assumed when an L2 is
+// configured without an explicit latency: a 2005-class on-chip SRAM
+// L2, several core cycles slower than the L1.
+const DefaultL2HitCycles = 6
+
 // Config assembles a system.
 type Config struct {
 	Cache cache.Config
-	Bus   bus.Config
-	DRAM  dram.Config
+	// L2 is an optional second-level cache between the L1 and DRAM
+	// (zero value = single-level system). Its line size must equal the
+	// L1's — a line is the unit moved between levels — and both levels
+	// must be write-back (write-through through a hierarchy is not
+	// modeled).
+	L2 cache.Config
+	// L2HitCycles is the L2 access latency in CPU cycles, charged on
+	// every line transfer between L1 and L2; defaults to
+	// DefaultL2HitCycles when an L2 is configured.
+	L2HitCycles int
+	// Placement selects which hierarchy boundary the engine and
+	// verifier guard (DESIGN.md §4): the zero value picks the outermost
+	// boundary — cache<->DRAM in a single-level system, L2<->DRAM with
+	// an L2 — which is the classic Figure 7a arrangement. PlacementL1L2
+	// (and PlacementCPUCache with an L2) moves the unit inward: every
+	// L1 miss crosses it, the L2 and DRAM hold ciphertext, and
+	// L2<->DRAM transfers move raw ciphertext with no engine stall.
+	Placement edu.Placement
+	Bus       bus.Config
+	DRAM      dram.Config
 	// CacheHitCycles is the L1 hit latency in CPU cycles.
 	CacheHitCycles int
 	// Engine is the bus-encryption unit; nil means edu.Null{}.
 	Engine edu.Engine
 	// Verifier is the memory authenticator (sim/authtree, or any
 	// edu.Verifier); nil means no integrity checking. It is driven on
-	// the same miss/writeback traffic as the engine but independently
-	// of it, so any confidentiality engine composes with any
-	// authenticator.
+	// the same traffic as the engine — whatever crosses the guarded
+	// boundary — but independently of it, so any confidentiality engine
+	// composes with any authenticator.
 	Verifier edu.Verifier
 	// ViolationCycles is the security-exception cost charged per
 	// detected verification failure (trap entry and the fail-stop
@@ -84,6 +107,16 @@ func DefaultConfig() Config {
 	}
 }
 
+// DefaultL2Config returns the standard L2 geometry for a given capacity:
+// 8-way write-back with the reference 32-byte lines — the shape the
+// campaign's -l2 axis and E22 sweep.
+func DefaultL2Config(size int) cache.Config {
+	return cache.Config{
+		Size: size, LineSize: 32, Ways: 8,
+		Policy: cache.LRU, WriteMode: cache.WriteBack,
+	}
+}
+
 // Report is the outcome of one run.
 type Report struct {
 	EngineName   string
@@ -94,7 +127,18 @@ type Report struct {
 	StallCycles  uint64 // cycles beyond compute + hit time
 	EngineStalls uint64 // the portion attributable to the engine
 	RMWEvents    uint64 // partial writes that forced read-modify-write
-	FlushedLines uint64 // dirty lines drained at end of run (spill cycles included in Cycles)
+	// FlushedLines counts line spills performed by the end-of-run drain
+	// of dirty cache lines (cycles included in Cycles). With an L2 the
+	// drain moves lines boundary by boundary, so an L1 line that
+	// flushes into the L2 and from there to DRAM counts twice — the
+	// count is spill traffic, not distinct lines.
+	FlushedLines uint64
+	// EngineLines counts the line-granule transfers that crossed the
+	// engine's boundary (fills, spills, write-through rewrites): the
+	// unit's exposed bandwidth, the quantity E22's placement argument
+	// is about. Transfers at unguarded boundaries (raw ciphertext
+	// moves, plaintext L1<->L2 moves) are not counted.
+	EngineLines uint64
 	// AuthStalls is the verifier-side portion of StallCycles: tag
 	// computation, tree walks, node fetches, violation traps.
 	AuthStalls uint64
@@ -107,8 +151,12 @@ type Report struct {
 	// schedule (internal/attack.Schedule.Detected).
 	AuthViolations uint64
 	Cache          cache.Stats
-	BusBytes       uint64
-	BusTxns        uint64
+	// L2 carries the second-level cache's counters (zero without an
+	// L2). Installs from L1 writebacks share the hit/miss counters with
+	// demand fills: the stats describe all traffic arriving at the L2.
+	L2       cache.Stats
+	BusBytes uint64
+	BusTxns  uint64
 }
 
 // CPI returns cycles per instruction.
@@ -132,26 +180,36 @@ func (r Report) OverheadVs(base Report) float64 {
 // SoC is one assembled system.
 type SoC struct {
 	cfg      Config
-	cache    *cache.Cache
+	hier     *cache.Hierarchy
+	cache    *cache.Cache // level 0
+	l2       *cache.Cache // nil in a single-level system
 	bus      *bus.Bus
 	dram     *dram.DRAM
 	engine   edu.Engine
 	verifier edu.Verifier
+	// inner is true when the engine/verifier guard the L1<->L2 boundary
+	// (Placement L1L2 or CPUCache with an L2): the L2 holds ciphertext
+	// and L2<->DRAM transfers are raw moves.
+	inner bool
+	// placement is the resolved boundary (defaults substituted).
+	placement edu.Placement
+	l2Hit     uint64
 	// curRef is the index of the reference Run is processing, for
 	// violation timestamps (detection-latency measurement).
 	curRef uint64
-	// shadow holds the plaintext of every resident cache line in a flat
-	// arena indexed by the cache's line slot (cache.Result.Slot), so its
-	// footprint is exactly the cache capacity and entries are recycled
-	// in lockstep with evictions — clean or dirty. It exists because the
-	// cache is a timing/state model without a data store, but writebacks
-	// must put real (enciphered) bytes on the probed bus.
-	shadow []byte
+	// shadows hold the per-level resident-line data in flat arenas
+	// indexed by each cache's line slot, so their footprint is exactly
+	// the hierarchy capacity and entries are recycled in lockstep with
+	// evictions — clean or dirty. Level 0 always holds plaintext (the
+	// CPU's view); level 1 holds plaintext when the engine guards the
+	// outer boundary and ciphertext when it guards the inner one. The
+	// arenas exist because the caches are timing/state models without a
+	// data store, but writebacks must put real bytes on the probed bus.
+	shadows [][]byte
 	// Preallocated scratch so the per-reference hot path never
 	// allocates: inbound ciphertext, outbound ciphertext, and a line of
 	// plaintext for non-resident write-through rewrites.
 	ctIn, ctOut, ptBuf []byte
-	flushBuf           []cache.DirtyLine
 }
 
 // New assembles a system from cfg.
@@ -182,34 +240,119 @@ func New(cfg Config) (*SoC, error) {
 		return nil, fmt.Errorf("soc: line size %d not a multiple of engine granule %d",
 			cfg.Cache.LineSize, eng.BlockBytes())
 	}
+
+	var l2 *cache.Cache
+	l2Hit := uint64(0)
+	if cfg.L2.Size != 0 {
+		if l2, err = cache.New(cfg.L2); err != nil {
+			return nil, err
+		}
+		switch {
+		case cfg.L2HitCycles < 0:
+			return nil, fmt.Errorf("soc: negative L2 hit latency %d", cfg.L2HitCycles)
+		case cfg.L2HitCycles == 0:
+			l2Hit = DefaultL2HitCycles
+		default:
+			l2Hit = uint64(cfg.L2HitCycles)
+		}
+	} else if cfg.L2HitCycles != 0 {
+		return nil, fmt.Errorf("soc: L2 hit latency set without an L2 cache")
+	}
+
+	inner := false
+	placement := edu.PlacementCacheMem
+	if l2 != nil {
+		placement = edu.PlacementL2DRAM
+	}
+	switch cfg.Placement {
+	case edu.PlacementNone, edu.PlacementCacheMem:
+		// Outermost boundary, whatever the hierarchy depth.
+	case edu.PlacementL2DRAM:
+		if l2 == nil {
+			return nil, fmt.Errorf("soc: placement %s requires an L2 cache", cfg.Placement)
+		}
+	case edu.PlacementL1L2:
+		if l2 == nil {
+			return nil, fmt.Errorf("soc: placement %s requires an L2 cache", cfg.Placement)
+		}
+		inner = true
+		placement = edu.PlacementL1L2
+	case edu.PlacementCPUCache:
+		// Single-level: the cache<->DRAM boundary is the only line-
+		// granule boundary and the engine's PerAccessCycles already
+		// model the CPU-side path. With an L2, the unit guards the
+		// inner boundary.
+		if l2 != nil {
+			inner = true
+			placement = edu.PlacementCPUCache
+		}
+	default:
+		return nil, fmt.Errorf("soc: unknown placement %v", cfg.Placement)
+	}
+
+	levels := []*cache.Cache{c}
+	if l2 != nil {
+		levels = append(levels, l2)
+	}
+	hier, err := cache.NewHierarchy(levels...)
+	if err != nil {
+		return nil, fmt.Errorf("soc: %w", err)
+	}
+
 	ls := cfg.Cache.LineSize
+	shadows := make([][]byte, len(levels))
+	for i, lvl := range levels {
+		shadows[i] = make([]byte, lvl.Lines()*ls)
+	}
 	return &SoC{
-		cfg: cfg, cache: c, bus: b, dram: d, engine: eng, verifier: cfg.Verifier,
-		shadow: make([]byte, c.Lines()*ls),
-		ctIn:   make([]byte, ls),
-		ctOut:  make([]byte, ls),
-		ptBuf:  make([]byte, ls),
+		cfg: cfg, hier: hier, cache: c, l2: l2, bus: b, dram: d,
+		engine: eng, verifier: cfg.Verifier,
+		inner: inner, placement: placement, l2Hit: l2Hit,
+		shadows: shadows,
+		ctIn:    make([]byte, ls),
+		ctOut:   make([]byte, ls),
+		ptBuf:   make([]byte, ls),
 	}, nil
 }
 
-// ShadowBytes reports the size of the resident-line plaintext store —
-// fixed at cache capacity by construction (the regression guard for the
-// old unbounded shadow map, which grew with every clean eviction).
-func (s *SoC) ShadowBytes() int { return len(s.shadow) }
+// ShadowBytes reports the total size of the resident-line data store —
+// fixed at hierarchy capacity by construction (the regression guard for
+// the old unbounded shadow map, which grew with every clean eviction).
+func (s *SoC) ShadowBytes() int {
+	n := 0
+	for _, sh := range s.shadows {
+		n += len(sh)
+	}
+	return n
+}
 
-// slotData returns the shadow plaintext for a cache slot.
-func (s *SoC) slotData(slot int) []byte {
+// slotData returns the shadow data for a cache slot at a level.
+func (s *SoC) slotData(level, slot int) []byte {
 	ls := s.cfg.Cache.LineSize
-	return s.shadow[slot*ls : (slot+1)*ls]
+	return s.shadows[level][slot*ls : (slot+1)*ls]
 }
 
 // Bus exposes the bus for probe attachment.
 func (s *SoC) Bus() *bus.Bus { return s.bus }
 
-// Cache exposes the on-chip cache. The attack model reads residency
-// from it: a probe attacker reconstructs cache contents from the
-// fill/eviction traffic it watches.
+// Cache exposes the first-level cache. The attack model reads residency
+// from the hierarchy (Resident): a probe attacker reconstructs cache
+// contents from the fill/eviction traffic it watches.
 func (s *SoC) Cache() *cache.Cache { return s.cache }
+
+// L2 exposes the second-level cache (nil in a single-level system).
+func (s *SoC) L2() *cache.Cache { return s.l2 }
+
+// Resident reports whether addr's line is held at any cache level —
+// "on-chip" from the probe attacker's vantage point: a resident line is
+// served without touching DRAM, and its eventual writeback overwrites
+// whatever an adversary planted there.
+func (s *SoC) Resident(addr uint64) bool {
+	if s.cache.Contains(addr) {
+		return true
+	}
+	return s.l2 != nil && s.l2.Contains(addr)
+}
 
 // DRAM exposes external memory (the attacker can dump it).
 func (s *SoC) DRAM() *dram.DRAM { return s.dram }
@@ -219,6 +362,11 @@ func (s *SoC) Engine() edu.Engine { return s.engine }
 
 // Verifier returns the installed memory authenticator (nil if none).
 func (s *SoC) Verifier() edu.Verifier { return s.verifier }
+
+// Placement reports the hierarchy boundary the engine and verifier
+// guard in this system, with the configured default resolved to the
+// outermost boundary of the hierarchy.
+func (s *SoC) Placement() edu.Placement { return s.placement }
 
 // LoadImage installs plaintext data into external memory through the
 // engine, line by line — the survey's step 6: "the processor uses K and
@@ -246,7 +394,10 @@ func (s *SoC) LoadImage(addr uint64, data []byte) error {
 }
 
 // ReadPlain fetches n bytes at addr through the engine (a debug/verify
-// path, no timing): what the CPU would see.
+// path, no timing): what the CPU would see. It reads DRAM directly,
+// bypassing the hierarchy; with an inner placement and lines still
+// dirty in the L2, DRAM (and hence this view) lags the verifier's
+// state until the end-of-run flush drains them.
 func (s *SoC) ReadPlain(addr uint64, n int) []byte {
 	ls := s.cfg.Cache.LineSize
 	start := addr &^ uint64(ls-1)
@@ -278,32 +429,33 @@ func (s *SoC) transferSize(lineAddr uint64, lineBytes int) int {
 	return lineBytes
 }
 
-// fill performs a line fill into shadow slot: DRAM access, bus transfer
-// of ciphertext, engine decryption, and — with a verifier installed —
-// read verification of the inbound ciphertext. Returns total CPU cycles
-// for the miss path. Allocation-free: scratch buffers and the slot
-// arena are preallocated.
-func (s *SoC) fill(lineAddr uint64, slot int, rep *Report) (cycles, engineStall uint64) {
+// fill performs a line fill across the chip boundary into pt: DRAM
+// access, bus transfer of ciphertext, engine decryption, and — with a
+// verifier installed — read verification of the inbound ciphertext.
+// Returns total CPU cycles for the miss path. Allocation-free: scratch
+// buffers and the slot arenas are preallocated.
+func (s *SoC) fill(lineAddr uint64, pt []byte, rep *Report) (cycles, engineStall uint64) {
 	ls := s.cfg.Cache.LineSize
 	dramCycles := s.dram.AccessCycles(lineAddr)
 	s.dram.ReadInto(lineAddr, s.ctIn)
 	busCycles := s.bus.Transfer(bus.Read, lineAddr, s.ctIn[:s.transferSize(lineAddr, ls)])
-	s.engine.DecryptLine(lineAddr, s.slotData(slot), s.ctIn)
+	s.engine.DecryptLine(lineAddr, pt, s.ctIn)
+	rep.EngineLines++
 	transfer := dramCycles + busCycles
 	extra := s.engine.ReadExtraCycles(lineAddr, ls, transfer)
 	cycles = transfer + extra
 	if s.verifier != nil {
-		cycles += s.verifyInbound(lineAddr, s.slotData(slot), rep)
+		cycles += s.verifyInbound(lineAddr, s.ctIn, pt, rep)
 	}
 	return cycles, extra
 }
 
-// verifyInbound authenticates the ciphertext sitting in ctIn for the
-// line at lineAddr and applies the fail-stop response to pt on a
-// detected tamper: zero the plaintext, charge the violation trap,
-// count it, and notify the observer. Returns the verifier-side cycles.
-func (s *SoC) verifyInbound(lineAddr uint64, pt []byte, rep *Report) uint64 {
-	stall, ok := s.verifier.VerifyRead(lineAddr, s.ctIn)
+// verifyInbound authenticates the inbound ciphertext ct for the line at
+// lineAddr and applies the fail-stop response to pt on a detected
+// tamper: zero the plaintext, charge the violation trap, count it, and
+// notify the observer. Returns the verifier-side cycles.
+func (s *SoC) verifyInbound(lineAddr uint64, ct, pt []byte, rep *Report) uint64 {
+	stall, ok := s.verifier.VerifyRead(lineAddr, ct)
 	rep.AuthStalls += stall
 	if !ok {
 		stall += uint64(s.cfg.ViolationCycles)
@@ -317,13 +469,15 @@ func (s *SoC) verifyInbound(lineAddr uint64, pt []byte, rep *Report) uint64 {
 	return stall
 }
 
-// spill writes a dirty line's plaintext pt out: engine encryption, bus,
-// DRAM, and the verifier's write-update (retag plus tree propagation).
-// The caller owns pt (normally the victim's shadow slot, read before
-// the subsequent fill overwrites it).
+// spill writes a dirty line's plaintext pt out across the chip
+// boundary: engine encryption, bus, DRAM, and the verifier's
+// write-update (retag plus tree propagation). The caller owns pt
+// (normally the victim's shadow slot, read before the subsequent fill
+// overwrites it).
 func (s *SoC) spill(lineAddr uint64, pt []byte, rep *Report) (cycles, engineStall uint64) {
 	ls := s.cfg.Cache.LineSize
 	s.engine.EncryptLine(lineAddr, s.ctOut, pt)
+	rep.EngineLines++
 	dramCycles := s.dram.AccessCycles(lineAddr)
 	busCycles := s.bus.Transfer(bus.Write, lineAddr, s.ctOut[:s.transferSize(lineAddr, ls)])
 	s.dram.Write(lineAddr, s.ctOut)
@@ -332,9 +486,107 @@ func (s *SoC) spill(lineAddr uint64, pt []byte, rep *Report) (cycles, engineStal
 	return cycles, extra
 }
 
+// rawFill moves a ciphertext line from DRAM into ct without any engine
+// or verifier involvement — the outer boundary of a system whose EDU
+// guards the L1<->L2 boundary: the L2 stores the same bytes DRAM holds.
+func (s *SoC) rawFill(lineAddr uint64, ct []byte) (cycles uint64) {
+	ls := s.cfg.Cache.LineSize
+	dramCycles := s.dram.AccessCycles(lineAddr)
+	s.dram.ReadInto(lineAddr, ct)
+	busCycles := s.bus.Transfer(bus.Read, lineAddr, ct[:s.transferSize(lineAddr, ls)])
+	return dramCycles + busCycles
+}
+
+// rawSpill is rawFill's outbound counterpart: a ciphertext line moves
+// from the L2 to DRAM unchanged.
+func (s *SoC) rawSpill(lineAddr uint64, ct []byte) (cycles uint64) {
+	ls := s.cfg.Cache.LineSize
+	dramCycles := s.dram.AccessCycles(lineAddr)
+	busCycles := s.bus.Transfer(bus.Write, lineAddr, ct[:s.transferSize(lineAddr, ls)])
+	s.dram.Write(lineAddr, ct)
+	return dramCycles + busCycles
+}
+
+// innerFill deciphers a line crossing the guarded L1<->L2 boundary:
+// ciphertext from the L2 slot, plaintext into the L1 slot, verification
+// of the inbound ciphertext. The transfer window the engine can overlap
+// is the L2 access itself.
+func (s *SoC) innerFill(lineAddr uint64, pt, ct []byte, rep *Report) (cycles, engineStall uint64) {
+	ls := s.cfg.Cache.LineSize
+	s.engine.DecryptLine(lineAddr, pt, ct)
+	rep.EngineLines++
+	extra := s.engine.ReadExtraCycles(lineAddr, ls, s.l2Hit)
+	cycles = s.l2Hit + extra
+	if s.verifier != nil {
+		cycles += s.verifyInbound(lineAddr, ct, pt, rep)
+	}
+	return cycles, extra
+}
+
+// innerSpill enciphers a dirty L1 line into its L2 slot and runs the
+// verifier's write-update — the outbound crossing of the guarded
+// L1<->L2 boundary. DRAM is untouched until the L2 evicts the line.
+func (s *SoC) innerSpill(lineAddr uint64, pt, ct []byte, rep *Report) (cycles, engineStall uint64) {
+	ls := s.cfg.Cache.LineSize
+	s.engine.EncryptLine(lineAddr, ct, pt)
+	rep.EngineLines++
+	extra := s.engine.WriteExtraCycles(lineAddr, ls)
+	cycles = s.l2Hit + extra
+	if s.verifier != nil {
+		us := s.verifier.UpdateWrite(lineAddr, ct)
+		rep.AuthStalls += us
+		cycles += us
+	}
+	return cycles, extra
+}
+
+// processEvent costs one hierarchy line transfer and moves its data:
+// engine-guarded crossings run the transform and verifier, unguarded
+// ones move bytes raw (outer boundary under an inner placement) or in
+// plaintext (L1<->L2 under an outer placement).
+func (s *SoC) processEvent(ev cache.Event, rep *Report) {
+	var c, e uint64
+	if ev.PeerSlot < 0 {
+		// The chip boundary: DRAM on the far side.
+		data := s.slotData(ev.Level, ev.Slot)
+		switch {
+		case s.inner && ev.Kind == cache.EvFill:
+			c = s.rawFill(ev.Addr, data)
+		case s.inner:
+			c = s.rawSpill(ev.Addr, data)
+		case ev.Kind == cache.EvFill:
+			c, e = s.fill(ev.Addr, data, rep)
+		default:
+			c, e = s.spill(ev.Addr, data, rep)
+		}
+	} else {
+		// The L1<->L2 boundary.
+		l1Data := s.slotData(ev.Level, ev.Slot)
+		l2Data := s.slotData(ev.Level+1, ev.PeerSlot)
+		switch {
+		case s.inner && ev.Kind == cache.EvFill:
+			c, e = s.innerFill(ev.Addr, l1Data, l2Data, rep)
+		case s.inner:
+			c, e = s.innerSpill(ev.Addr, l1Data, l2Data, rep)
+		case ev.Kind == cache.EvFill:
+			copy(l1Data, l2Data)
+			c = s.l2Hit
+		default:
+			copy(l2Data, l1Data)
+			c = s.l2Hit
+		}
+	}
+	rep.Cycles += c
+	rep.StallCycles += c
+	rep.EngineStalls += e
+}
+
 // writeThrough costs a store of size bytes at addr going straight to
 // memory. If the store granule is smaller than the engine's block, the
 // survey's five-step read-decipher-modify-recipher-write sequence runs.
+// Only reachable in a single-level system (the hierarchy rejects a
+// write-through L1 above an L2), so the engine boundary is the chip
+// boundary.
 //
 // Timing is granule-accurate (the survey's §2.2 sequence); the data
 // path operates on the whole enclosing line so DRAM always holds the
@@ -361,16 +613,18 @@ func (s *SoC) writeThrough(addr uint64, size, hitSlot int, rep *Report) (cycles,
 	var authStall uint64
 	pt := s.ptBuf
 	if hitSlot >= 0 {
-		pt = s.slotData(hitSlot)
+		pt = s.slotData(0, hitSlot)
 	} else {
 		s.engine.DecryptLine(lineAddr, pt, s.ctIn)
+		rep.EngineLines++
 		if s.verifier != nil {
 			// The recovered line comes from tamperable memory: verify it
 			// before its plaintext feeds the rewrite.
-			authStall += s.verifyInbound(lineAddr, pt, rep)
+			authStall += s.verifyInbound(lineAddr, s.ctIn, pt, rep)
 		}
 	}
 	s.engine.EncryptLine(lineAddr, s.ctOut, pt)
+	rep.EngineLines++
 
 	if needRMW {
 		rep.RMWEvents++
@@ -446,22 +700,11 @@ func (s *SoC) Run(src trace.RefSource) Report {
 		rep.Cycles += uint64(ref.Compute)
 
 		isStore := ref.Kind == trace.Store
-		res := s.cache.Access(ref.Addr, isStore)
+		res, events := s.hier.Access(ref.Addr, isStore)
 		rep.Cycles += hit + perAccess
 
-		if res.Writeback {
-			// The victim's plaintext lives in the fill slot until the
-			// fill below overwrites it.
-			c, e := s.spill(res.WritebackAddr, s.slotData(res.Slot), &rep)
-			rep.Cycles += c
-			rep.StallCycles += c
-			rep.EngineStalls += e
-		}
-		if res.Fill {
-			c, e := s.fill(res.FillAddr, res.Slot, &rep)
-			rep.Cycles += c
-			rep.StallCycles += c
-			rep.EngineStalls += e
+		for _, ev := range events {
+			s.processEvent(ev, &rep)
 		}
 		if res.Through {
 			hitSlot := -1
@@ -476,17 +719,16 @@ func (s *SoC) Run(src trace.RefSource) Report {
 	}
 
 	if !s.cfg.SkipFinalFlush {
-		s.flushBuf = s.cache.FlushDirty(s.flushBuf[:0])
-		for _, d := range s.flushBuf {
-			c, e := s.spill(d.Addr, s.slotData(d.Slot), &rep)
-			rep.Cycles += c
-			rep.StallCycles += c
-			rep.EngineStalls += e
+		for _, ev := range s.hier.Flush() {
+			s.processEvent(ev, &rep)
 			rep.FlushedLines++
 		}
 	}
 
 	rep.Cache = s.cache.Stats()
+	if s.l2 != nil {
+		rep.L2 = s.l2.Stats()
+	}
 	rep.BusBytes = s.bus.BytesMoved
 	rep.BusTxns = s.bus.Transactions
 	return rep
@@ -499,6 +741,11 @@ func (s *SoC) Run(src trace.RefSource) Report {
 // between runs — use a Seed-configured source, not an explicit Rand),
 // engine as the only delta.
 func Compare(cfg Config, eng edu.Engine, src trace.RefSource) (base, with Report, err error) {
+	if r, ok := src.(interface{ Replayable() bool }); ok && !r.Replayable() {
+		return base, with, fmt.Errorf(
+			"soc: Compare replays %q between runs, but the source is single-pass (built from an explicit Config.Rand); configure trace.Config.Seed instead",
+			src.Label())
+	}
 	bcfg := cfg
 	bcfg.Engine = edu.Null{}
 	bcfg.Verifier = nil

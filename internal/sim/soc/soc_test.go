@@ -2,6 +2,7 @@ package soc
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"repro/internal/crypto/modes"
@@ -471,5 +472,308 @@ func TestVerifiedMissZeroAllocs(t *testing.T) {
 				t.Errorf("large node cache hit rate %.2f, want >= 0.2", ver.NodeHitRate())
 			}
 		})
+	}
+}
+
+// --- two-level hierarchy ---
+
+func l2Config(size int) cache.Config {
+	return cache.Config{Size: size, LineSize: 32, Ways: 8, Policy: cache.LRU, WriteMode: cache.WriteBack}
+}
+
+func TestL2Validation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L2 = l2Config(64 << 10)
+	cfg.L2.LineSize = 64
+	if _, err := New(cfg); err == nil {
+		t.Error("mismatched L1/L2 line sizes accepted")
+	}
+
+	cfg = DefaultConfig()
+	cfg.L2 = l2Config(64 << 10)
+	cfg.Cache.WriteMode = cache.WriteThrough
+	if _, err := New(cfg); err == nil {
+		t.Error("write-through L1 above an L2 accepted")
+	}
+
+	cfg = DefaultConfig()
+	cfg.Placement = edu.PlacementL1L2
+	if _, err := New(cfg); err == nil {
+		t.Error("placement l1<->l2 without an L2 accepted")
+	}
+	cfg.Placement = edu.PlacementL2DRAM
+	if _, err := New(cfg); err == nil {
+		t.Error("placement l2<->dram without an L2 accepted")
+	}
+
+	cfg = DefaultConfig()
+	cfg.L2HitCycles = 4
+	if _, err := New(cfg); err == nil {
+		t.Error("L2 latency without an L2 accepted")
+	}
+
+	// PlacementCPUCache without an L2 stays valid (E11's single-level
+	// arrangement); with an L2 it selects the inner boundary.
+	cfg = DefaultConfig()
+	cfg.Placement = edu.PlacementCPUCache
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("single-level cpu<->cache placement rejected: %v", err)
+	}
+	if s.Placement() != edu.PlacementCacheMem {
+		t.Errorf("single-level placement resolved to %v", s.Placement())
+	}
+	cfg.L2 = l2Config(64 << 10)
+	if s, err = New(cfg); err != nil {
+		t.Fatalf("cpu<->cache placement with L2 rejected: %v", err)
+	}
+	if s.Placement() != edu.PlacementCPUCache {
+		t.Errorf("placement resolved to %v, want cpu<->cache", s.Placement())
+	}
+}
+
+// firmwareishSource is a 48 KiB-footprint workload: overflows the L1
+// but fits a 64 KiB L2, the regime where the L2 actually filters.
+func firmwareishSource() trace.RefSource {
+	return trace.SequentialSource(trace.Config{
+		Refs: 40000, Seed: 22, LoadFraction: 0.35, WriteFraction: 0.4, JumpRate: 0.03, Locality: 0.5,
+		CodeBase: 0, CodeSize: 16 << 10, DataBase: 0x4000_0000, DataSize: 32 << 10,
+	})
+}
+
+// The placement contract: the inner boundary sees the full L1 miss
+// stream (identical to a single-level system on the same trace), the
+// outer boundary sees only what the L2 lets through.
+func TestPlacementFiltersEngineTraffic(t *testing.T) {
+	run := func(l2 int, p edu.Placement) Report {
+		cfg := DefaultConfig()
+		if l2 > 0 {
+			cfg.L2 = l2Config(l2)
+		}
+		cfg.Placement = p
+		cfg.Engine = fixedEngine{block: 16, readCost: 7, writeCost: 3}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run(firmwareishSource())
+	}
+	single := run(0, edu.PlacementNone)
+	inner := run(64<<10, edu.PlacementL1L2)
+	outer := run(64<<10, edu.PlacementL2DRAM)
+
+	if single.EngineLines == 0 {
+		t.Fatal("no engine traffic at all")
+	}
+	if inner.EngineLines != single.EngineLines {
+		t.Errorf("inner boundary exposure %d != single-level %d (the L1 miss stream is L2-independent)",
+			inner.EngineLines, single.EngineLines)
+	}
+	if outer.EngineLines >= inner.EngineLines {
+		t.Errorf("outer boundary exposure %d not filtered below inner %d", outer.EngineLines, inner.EngineLines)
+	}
+	// The same L1 demand stream everywhere.
+	if inner.Cache.Misses != single.Cache.Misses || outer.Cache.Misses != single.Cache.Misses {
+		t.Errorf("L1 miss stream diverged: single %d inner %d outer %d",
+			single.Cache.Misses, inner.Cache.Misses, outer.Cache.Misses)
+	}
+	if inner.L2.Hits == 0 || outer.L2.Hits == 0 {
+		t.Error("L2 never hit; the workload is not exercising the hierarchy")
+	}
+	// Engine stalls follow exposure.
+	if outer.EngineStalls >= inner.EngineStalls {
+		t.Errorf("outer engine stalls %d not below inner %d", outer.EngineStalls, inner.EngineStalls)
+	}
+}
+
+// Data-path consistency with two levels: after a run full of stores,
+// the final flush has drained both levels, and the CPU-side view of
+// memory round-trips — under both placements, for a stateless XOR
+// engine and the stateful AEGIS mode.
+func TestL2DataPathConsistency(t *testing.T) {
+	engines := map[string]func() (edu.Engine, error){
+		"xor-16": func() (edu.Engine, error) { return fixedEngine{block: 16}, nil },
+		"aegis": func() (edu.Engine, error) {
+			return products.AEGIS([]byte("0123456789abcdef"), modes.IVCounter, 0xae915)
+		},
+	}
+	for name, build := range engines {
+		for _, p := range []edu.Placement{edu.PlacementL1L2, edu.PlacementL2DRAM} {
+			eng, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.L2 = l2Config(64 << 10)
+			cfg.Placement = p
+			cfg.Engine = eng
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			img := bytes.Repeat([]byte("LIVE DATA MUST SURVIVE THE L2..."), 64)
+			if err := s.LoadImage(0x4000_0000, img); err != nil {
+				t.Fatal(err)
+			}
+			// Loads and stores across the image, plus far misses to force
+			// evictions through both levels.
+			src := trace.SequentialSource(trace.Config{
+				Refs: 30000, Seed: 5, LoadFraction: 0.5, WriteFraction: 0.0, JumpRate: 0.05,
+				CodeBase: 0x4000_0000, CodeSize: uint64(len(img)),
+				DataBase: 0x4000_0000, DataSize: uint64(len(img)),
+			})
+			s.Run(src)
+			if got := s.ReadPlain(0x4000_0000, len(img)); !bytes.Equal(got, img) {
+				t.Errorf("%s/%v: post-run memory corrupted", name, p)
+			}
+			// Shadow arenas stay bounded by hierarchy capacity.
+			if want := cfg.Cache.Size + cfg.L2.Size; s.ShadowBytes() != want {
+				t.Errorf("%s/%v: shadow = %d bytes, want %d", name, p, s.ShadowBytes(), want)
+			}
+		}
+	}
+}
+
+// A probe on the external bus must see ciphertext only, under both
+// placements: with the EDU at L1<->L2 the raw moves carry bytes the
+// engine already transformed.
+func TestL2ProbeSeesCiphertextOnly(t *testing.T) {
+	secret := bytes.Repeat([]byte("SECRET-INSTRUCTION-STREAM!"), 4)
+	for _, p := range []edu.Placement{edu.PlacementL1L2, edu.PlacementL2DRAM} {
+		cfg := DefaultConfig()
+		cfg.L2 = l2Config(64 << 10)
+		cfg.Placement = p
+		cfg.Engine = fixedEngine{block: 16}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.LoadImage(0x1000, secret); err != nil {
+			t.Fatal(err)
+		}
+		sn := &sniffer{}
+		s.Bus().Attach(sn)
+		s.Run(&trace.Trace{Name: "touch", Refs: []trace.Ref{
+			{Kind: trace.Fetch, Addr: 0x1000, Size: 4},
+			{Kind: trace.Fetch, Addr: 0x1020, Size: 4},
+			{Kind: trace.Fetch, Addr: 0x1040, Size: 4},
+		}})
+		if bytes.Contains(sn.data, secret[:16]) {
+			t.Errorf("placement %v: probe captured plaintext", p)
+		}
+	}
+}
+
+// The 0 allocs/ref contract must hold with an L2 — miss path through
+// both levels, raw moves, and the verifier installed — under both
+// placements.
+func TestHotLoopZeroAllocsL2(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    edu.Placement
+	}{
+		{"outer", edu.PlacementL2DRAM},
+		{"inner", edu.PlacementL1L2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ver, err := authtree.New(authtree.Config{
+				Key:       []byte("0123456789abcdef"),
+				LineBytes: 32,
+				Regions: []authtree.Region{
+					{Base: 0, Bytes: 1 << 20},
+					{Base: 0x4000_0000, Bytes: 8 << 20},
+				},
+				NodeCacheBytes: 4 << 10,
+				Variant:        authtree.CounterTree,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.L2 = l2Config(64 << 10)
+			cfg.Placement = tc.p
+			cfg.Engine = fixedEngine{block: 16, readCost: 7, writeCost: 3}
+			cfg.Verifier = ver
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := trace.SequentialSource(trace.Config{
+				Refs: 20000, Seed: 3, LoadFraction: 0.4, WriteFraction: 0.4,
+				JumpRate: 0.02, Locality: 0.5,
+			})
+			rep := s.Run(src) // warm DRAM pages, tag stores, node cache, event buffers
+			if rep.AuthStalls == 0 {
+				t.Fatal("verifier charged no cycles")
+			}
+			if rep.AuthViolations != 0 {
+				t.Fatalf("%d violations on an untampered run", rep.AuthViolations)
+			}
+			if avg := testing.AllocsPerRun(3, func() { s.Run(src) }); avg != 0 {
+				t.Errorf("two-level Run allocated %.1f times per 20k-ref run, want 0", avg)
+			}
+		})
+	}
+}
+
+// With the EDU (and verifier) at the inner boundary, a tamper planted
+// in DRAM is still caught — when the line climbs back through the L2
+// and crosses into the L1.
+func TestInnerPlacementDetectsTamper(t *testing.T) {
+	ver, err := authtree.New(authtree.Config{
+		Key:            []byte("0123456789abcdef"),
+		LineBytes:      32,
+		Regions:        []authtree.Region{{Base: 0, Bytes: 1 << 20}},
+		NodeCacheBytes: 4 << 10,
+		Variant:        authtree.HashTree,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.L2 = l2Config(64 << 10)
+	cfg.Placement = edu.PlacementL1L2
+	cfg.Engine = fixedEngine{block: 16}
+	cfg.Verifier = ver
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := make([]byte, 4096)
+	for i := range img {
+		img[i] = byte(i * 13)
+	}
+	if err := s.LoadImage(0, img); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a line in DRAM before anything is resident.
+	junk := bytes.Repeat([]byte{0xEE}, 32)
+	s.DRAM().Write(0x40, junk)
+	rep := s.Run(&trace.Trace{Name: "touch", Refs: []trace.Ref{
+		{Kind: trace.Fetch, Addr: 0x40, Size: 4},
+	}})
+	if rep.AuthViolations == 0 {
+		t.Error("tamper crossed the inner boundary undetected")
+	}
+}
+
+// Compare must reject a single-pass source (explicit Config.Rand) with
+// a clear error instead of panicking on the second run's Reset.
+func TestCompareSinglePassSourceErrors(t *testing.T) {
+	src := trace.SequentialSource(trace.Config{Refs: 100, Rand: trace.NewRand(5)})
+	_, _, err := Compare(DefaultConfig(), fixedEngine{block: 16}, src)
+	if err == nil {
+		t.Fatal("Compare accepted a single-pass source")
+	}
+	if !strings.Contains(err.Error(), "single-pass") {
+		t.Errorf("error does not explain the problem: %v", err)
+	}
+	// Seed-configured and materialized sources stay accepted.
+	if _, _, err := Compare(DefaultConfig(), fixedEngine{block: 16},
+		trace.SequentialSource(trace.Config{Refs: 100, Seed: 5})); err != nil {
+		t.Errorf("seeded source rejected: %v", err)
+	}
+	if _, _, err := Compare(DefaultConfig(), fixedEngine{block: 16}, smallTrace()); err != nil {
+		t.Errorf("materialized trace rejected: %v", err)
 	}
 }

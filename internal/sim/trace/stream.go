@@ -80,6 +80,13 @@ func newStreamBase(name string, cfg *Config) streamBase {
 // Label implements RefSource.
 func (b *streamBase) Label() string { return b.name }
 
+// Replayable reports whether the source can be rewound: true for
+// seed-derived sources (Reset reseeds in place), false for sources
+// built from an explicit Config.Rand, whose consumed state cannot be
+// rewound — those panic on Reset after use. Consumers that must replay
+// (soc.Compare) check this instead of discovering the panic mid-run.
+func (b *streamBase) Replayable() bool { return b.src != nil }
+
 // resetBase rewinds the shared state; it reports whether the caller
 // must also rewind its own generator state (false when the source was
 // never started, so there is nothing to rewind). Reseeding the retained
@@ -438,6 +445,10 @@ func (m *multiSource) subSource(p int) *seqSource {
 
 // Label implements RefSource.
 func (m *multiSource) Label() string { return "multi-process" }
+
+// Replayable reports whether the source can be rewound (see
+// streamBase.Replayable): false when built from an explicit Rand.
+func (m *multiSource) Replayable() bool { return !m.explicit }
 
 // Next implements RefSource.
 func (m *multiSource) Next() (Ref, bool) {

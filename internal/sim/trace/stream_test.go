@@ -133,3 +133,25 @@ func TestTraceIsARefSource(t *testing.T) {
 		t.Error("reset trace source did not replay from the first ref")
 	}
 }
+
+// Replayable must distinguish seed-derived sources (rewindable) from
+// explicit-Rand sources (single-pass) for every registered workload —
+// the property soc.Compare checks before it commits to replaying.
+func TestReplayable(t *testing.T) {
+	for name, mk := range Sources {
+		if src := mk(Config{Refs: 10, Seed: 1}); !src.(interface{ Replayable() bool }).Replayable() {
+			t.Errorf("%s: seeded source reports single-pass", name)
+		}
+		if src := mk(Config{Refs: 10, Rand: NewRand(1)}); src.(interface{ Replayable() bool }).Replayable() {
+			t.Errorf("%s: explicit-Rand source reports replayable", name)
+		}
+	}
+	mp := MultiProcessSource(MultiProcessConfig{Config: Config{Refs: 10, Rand: NewRand(2)}})
+	if mp.(interface{ Replayable() bool }).Replayable() {
+		t.Error("multi-process explicit-Rand source reports replayable")
+	}
+	tr := &Trace{Name: "mat", Refs: []Ref{{Kind: Fetch, Addr: 0, Size: 4}}}
+	if !tr.Replayable() {
+		t.Error("materialized trace reports single-pass")
+	}
+}

@@ -76,6 +76,9 @@ func (t *Trace) Next() (Ref, bool) {
 // Reset implements RefSource: rewinds to the first reference.
 func (t *Trace) Reset() { t.pos = 0 }
 
+// Replayable reports that a materialized trace can always be rewound.
+func (t *Trace) Replayable() bool { return true }
+
 // Stats summarizes a trace's composition.
 type Stats struct {
 	Refs          int
