@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim/soc"
 	"repro/internal/sim/trace"
 )
@@ -93,11 +94,25 @@ func sweepBench(b *testing.B, jobs int) {
 func BenchmarkSweepGridSequential(b *testing.B) { sweepBench(b, 1) }
 func BenchmarkSweepGridParallel(b *testing.B)   { sweepBench(b, campaign.DefaultJobs()) }
 
+// reportPerRef attaches the trajectory metrics benchtrend records:
+// ns/ref and refs/s, normalized by how many simulated references one
+// benchmark op performs. Call after the timed section.
+func reportPerRef(b *testing.B, refsPerOp int) {
+	b.Helper()
+	refs := float64(b.N) * float64(refsPerOp)
+	if ns := float64(b.Elapsed().Nanoseconds()); ns > 0 {
+		b.ReportMetric(ns/refs, "ns/ref")
+		b.ReportMetric(refs/b.Elapsed().Seconds(), "refs/s")
+	}
+}
+
 // hotLoopBench drives one SoC with a streaming source of exactly b.N
 // references, so ns/op is nanoseconds per reference and allocs/op is
 // allocations per reference — the number the allocation-free hot path
 // pins at 0 (see soc.TestHotLoopZeroAllocs for the hard assertion).
-func hotLoopBench(b *testing.B, engineKey string) {
+// withMetrics additionally installs a live obs registry, so the bench
+// log also proves the 0 allocs/op contract holds under instrumentation.
+func hotLoopBench(b *testing.B, engineKey string, withMetrics bool) {
 	b.Helper()
 	cfg := soc.DefaultConfig()
 	if engineKey != "" {
@@ -107,6 +122,9 @@ func hotLoopBench(b *testing.B, engineKey string) {
 		}
 		cfg.Engine = eng
 	}
+	if withMetrics {
+		cfg.Metrics = soc.NewMetrics(obs.NewRegistry())
+	}
 	s, err := soc.New(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -115,13 +133,17 @@ func hotLoopBench(b *testing.B, engineKey string) {
 		Refs: b.N, Seed: 1,
 		LoadFraction: 0.35, WriteFraction: 0.3, JumpRate: 0.03, Locality: 0.7,
 	})
+	b.SetBytes(int64(cfg.Bus.WidthBytes)) // architectural bytes per reference
 	b.ReportAllocs()
 	b.ResetTimer()
 	s.Run(src)
+	b.StopTimer()
+	reportPerRef(b, 1)
 }
 
-func BenchmarkHotLoopPlaintext(b *testing.B) { hotLoopBench(b, "") }
-func BenchmarkHotLoopAegis(b *testing.B)     { hotLoopBench(b, "aegis") }
+func BenchmarkHotLoopPlaintext(b *testing.B)    { hotLoopBench(b, "", false) }
+func BenchmarkHotLoopAegis(b *testing.B)        { hotLoopBench(b, "aegis", false) }
+func BenchmarkHotLoopInstrumented(b *testing.B) { hotLoopBench(b, "aegis", true) }
 
 // BenchmarkHotLoopL2 drives b.N references through a two-level system
 // (64 KiB L2, AEGIS engine at the outer boundary, counter-tree
@@ -152,9 +174,12 @@ func BenchmarkHotLoopL2(b *testing.B) {
 	}
 	s.Run(mkSrc(20000)) // warm DRAM pages, tag stores, node cache, event buffers
 	src := mkSrc(b.N)
+	b.SetBytes(int64(cfg.Bus.WidthBytes))
 	b.ReportAllocs()
 	b.ResetTimer()
 	s.Run(src)
+	b.StopTimer()
+	reportPerRef(b, 1)
 }
 
 // BenchmarkAuthTreeVerifiedRun drives a fixed 20k-reference firmware
@@ -186,4 +211,6 @@ func BenchmarkAuthTreeVerifiedRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.Run(src)
 	}
+	b.StopTimer()
+	reportPerRef(b, 20000)
 }

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	bin := t.TempDir() + "/cli"
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatal(err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+func TestErrorPathsToStderr(t *testing.T) {
+	for _, tc := range [][]string{
+		{"-no-such-flag"},
+		{"-engine", "no-such-engine"},
+		{"-engine", "xom", "-only", "e4"}, // conflicting modes
+	} {
+		stdout, stderr, code := runCLI(t, tc...)
+		if code == 0 {
+			t.Errorf("%v exited 0", tc)
+		}
+		if stdout != "" {
+			t.Errorf("%v wrote error to stdout: %q", tc, stdout)
+		}
+		if stderr == "" {
+			t.Errorf("%v produced no stderr diagnostics", tc)
+		}
+	}
+}

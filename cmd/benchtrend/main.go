@@ -1,0 +1,213 @@
+// Command benchtrend measures the repository's benchmark suite and
+// tracks it over time: it runs `go test -bench` on the perf-critical
+// benchmarks (or parses a canned bench log via -input), prints a
+// comparison against a recorded BENCH_<n>.json snapshot, and exits
+// nonzero when anything regressed — ns/op beyond -threshold, or any
+// allocation appearing in a formerly allocation-free benchmark.
+//
+//	benchtrend                        # run suite, diff against latest BENCH_*.json
+//	benchtrend -write                 # ... and record BENCH_<n+1>.json
+//	benchtrend -against BENCH_1.json  # pin the comparison base
+//	benchtrend -threshold 0.1        # fail on >10% ns/op growth
+//	benchtrend -input bench.log       # diff a saved `go test -bench` log
+//
+// Snapshots are schema-versioned JSON carrying host metadata (Go
+// version, OS/arch, CPU count); the diff warns when the recorded host
+// differs from the measuring one, since cross-host deltas measure the
+// machines, not the code.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	benchRe := flag.String("bench", "HotLoop|AuthTree|SweepGrid", "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "", "go test -benchtime value (default: go's)")
+	dir := flag.String("dir", ".", "module directory holding the benchmarks and BENCH_*.json snapshots")
+	input := flag.String("input", "", "parse this saved `go test -bench` log instead of running the suite")
+	against := flag.String("against", "", "snapshot to diff against (default: highest-numbered BENCH_*.json in -dir)")
+	threshold := flag.Float64("threshold", 0.20, "fractional ns/op growth that counts as a regression")
+	write := flag.Bool("write", false, "record the run as the next BENCH_<n>.json in -dir")
+	outPath := flag.String("o", "", "write the snapshot to this exact path instead of the BENCH_<n>.json sequence")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected arguments %v", flag.Args()))
+	}
+
+	var raw io.Reader
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		raw = f
+	} else {
+		raw = runSuite(*dir, *benchRe, *benchtime)
+	}
+	results, err := bench.ParseBenchOutput(raw)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results matched (bench regexp %q)", *benchRe))
+	}
+	cur := bench.Snapshot{
+		Schema:    bench.Schema,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Host: bench.Host{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+		Benchmarks: results,
+	}
+
+	base := *against
+	if base == "" {
+		if base, err = bench.LatestPath(*dir); err != nil {
+			fatal(err)
+		}
+	}
+	regressed := false
+	if base != "" {
+		old, err := readSnapshot(base)
+		if err != nil {
+			fatal(err)
+		}
+		regressed = report(os.Stdout, old, cur, base, *threshold)
+	} else {
+		fmt.Println("benchtrend: no baseline snapshot found; nothing to diff")
+		printCurrent(cur)
+	}
+
+	if *outPath != "" || *write {
+		path := *outPath
+		if path == "" {
+			if path, err = bench.NextPath(*dir); err != nil {
+				fatal(err)
+			}
+		}
+		if err := writeSnapshot(path, cur); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchtrend: recorded %s (%d benchmarks)\n", path, len(cur.Benchmarks))
+	}
+	if regressed {
+		os.Exit(1)
+	}
+}
+
+// runSuite executes the benchmark suite and returns its output. The
+// raw log is also mirrored to stderr so CI artifacts keep the full
+// bench text alongside the structured snapshot.
+func runSuite(dir, re, benchtime string) io.Reader {
+	args := []string{"test", "-run", "^$", "-bench", re, "-benchmem"}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, ".")
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	os.Stderr.Write(out)
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Stderr.Write(ee.Stderr)
+		}
+		fatal(fmt.Errorf("go test -bench: %w", err))
+	}
+	return bytes.NewReader(out)
+}
+
+// report prints the old-vs-new table and the regression verdict;
+// true means at least one regression.
+func report(w io.Writer, old, cur bench.Snapshot, base string, threshold float64) bool {
+	if old.Schema != bench.Schema {
+		fmt.Fprintf(w, "benchtrend: warning: %s has schema %d, this tool writes %d\n", base, old.Schema, bench.Schema)
+	}
+	if old.Host != cur.Host {
+		fmt.Fprintf(w, "benchtrend: warning: host changed since %s (%+v -> %+v); deltas compare machines as much as code\n",
+			base, old.Host, cur.Host)
+	}
+	prev := map[string]bench.Result{}
+	for _, r := range old.Benchmarks {
+		prev[r.Name] = r
+	}
+	names := make([]string, 0, len(cur.Benchmarks))
+	for _, r := range cur.Benchmarks {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	byName := map[string]bench.Result{}
+	for _, r := range cur.Benchmarks {
+		byName[r.Name] = r
+	}
+	fmt.Fprintf(w, "benchtrend: vs %s (threshold %+.0f%% ns/op)\n", base, 100*threshold)
+	for _, name := range names {
+		now := byName[name]
+		was, ok := prev[name]
+		if !ok {
+			fmt.Fprintf(w, "  %-34s %12.1f ns/op  %6g allocs/op  (new)\n", name, now.NsPerOp(), now.AllocsPerOp())
+			continue
+		}
+		delta := 0.0
+		if was.NsPerOp() > 0 {
+			delta = 100 * (now.NsPerOp()/was.NsPerOp() - 1)
+		}
+		fmt.Fprintf(w, "  %-34s %12.1f -> %12.1f ns/op (%+.1f%%)  %g -> %g allocs/op\n",
+			name, was.NsPerOp(), now.NsPerOp(), delta, was.AllocsPerOp(), now.AllocsPerOp())
+	}
+	regs := bench.Diff(old, cur, threshold)
+	for _, r := range regs {
+		fmt.Fprintf(w, "benchtrend: REGRESSION %s\n", r)
+	}
+	if len(regs) == 0 {
+		fmt.Fprintln(w, "benchtrend: no regressions")
+	}
+	return len(regs) > 0
+}
+
+func printCurrent(cur bench.Snapshot) {
+	for _, r := range cur.Benchmarks {
+		fmt.Printf("  %-34s %12.1f ns/op  %6g allocs/op\n", r.Name, r.NsPerOp(), r.AllocsPerOp())
+	}
+}
+
+func readSnapshot(path string) (bench.Snapshot, error) {
+	var s bench.Snapshot
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func writeSnapshot(path string, s bench.Snapshot) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtrend:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+var trendBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "benchtrend-test")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	trendBin = filepath.Join(dir, "benchtrend")
+	out, err := exec.Command("go", "build", "-o", trendBin, ".").CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building benchtrend: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+func run(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(trendBin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running benchtrend: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// benchLog renders a canned `go test -bench -benchmem` log with the
+// given ns/op and allocs/op for the hot-loop benchmark.
+func benchLog(hotNs float64, hotAllocs int) string {
+	return fmt.Sprintf(`goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkHotLoopAegis-8       	  100000	      %.1f ns/op	      %.1f ns/ref	  132033 refs/s	       0 B/op	       %d allocs/op
+BenchmarkAuthTreeVerifiedRun-8	     100	  11062342 ns/op	       553.1 ns/ref	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	2.0s
+`, hotNs, hotNs, hotAllocs)
+}
+
+func writeFile(t *testing.T, path, content string) string {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The acceptance path: record a baseline snapshot, then feed a run
+// with an injected slowdown — benchtrend must exit nonzero and name
+// the regression. A statistically flat re-run must exit zero.
+func TestRegressionGate(t *testing.T) {
+	dir := t.TempDir()
+	baseLog := writeFile(t, filepath.Join(dir, "base.log"), benchLog(7500, 0))
+
+	// Record the baseline as BENCH_1.json.
+	stdout, stderr, code := run(t, "-dir", dir, "-input", baseLog, "-write")
+	if code != 0 {
+		t.Fatalf("baseline write exited %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	base := filepath.Join(dir, "BENCH_1.json")
+	if _, err := os.Stat(base); err != nil {
+		t.Fatal(err)
+	}
+	var snap bench.Snapshot
+	data, _ := os.ReadFile(base)
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != bench.Schema || len(snap.Benchmarks) != 2 || snap.Host.NumCPU == 0 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+
+	// Flat re-run: clean exit.
+	stdout, _, code = run(t, "-dir", dir, "-input", baseLog, "-against", base)
+	if code != 0 {
+		t.Errorf("flat run exited %d:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "no regressions") {
+		t.Errorf("flat run verdict missing:\n%s", stdout)
+	}
+
+	// 2x slowdown: nonzero exit naming the benchmark.
+	slowLog := writeFile(t, filepath.Join(dir, "slow.log"), benchLog(15000, 0))
+	stdout, _, code = run(t, "-dir", dir, "-input", slowLog, "-against", base)
+	if code == 0 {
+		t.Errorf("2x slowdown exited 0:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "REGRESSION") || !strings.Contains(stdout, "BenchmarkHotLoopAegis") {
+		t.Errorf("slowdown verdict missing:\n%s", stdout)
+	}
+
+	// New allocation in a formerly allocation-free benchmark: nonzero
+	// exit regardless of ns/op.
+	allocLog := writeFile(t, filepath.Join(dir, "alloc.log"), benchLog(7500, 2))
+	stdout, _, code = run(t, "-dir", dir, "-input", allocLog, "-against", base)
+	if code == 0 {
+		t.Errorf("new allocation exited 0:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "allocation-free contract") {
+		t.Errorf("alloc verdict missing:\n%s", stdout)
+	}
+
+	// Within-threshold drift at a loosened threshold: clean.
+	mildLog := writeFile(t, filepath.Join(dir, "mild.log"), benchLog(8000, 0))
+	_, _, code = run(t, "-dir", dir, "-input", mildLog, "-against", base, "-threshold", "0.2")
+	if code != 0 {
+		t.Error("7% drift failed a 20% threshold")
+	}
+
+	// -write numbers sequentially.
+	_, _, code = run(t, "-dir", dir, "-input", baseLog, "-write")
+	if code != 0 {
+		t.Fatal("second -write failed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_2.json")); err != nil {
+		t.Error("second snapshot not numbered BENCH_2.json")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"bad flag", []string{"-no-such-flag"}},
+		{"missing input", []string{"-dir", dir, "-input", filepath.Join(dir, "absent.log")}},
+		{"positional args", []string{"extra"}},
+		{"empty input", []string{"-dir", dir, "-input", writeFile(t, filepath.Join(dir, "empty.log"), "PASS\n")}},
+		{"bad against", []string{"-dir", dir, "-input", writeFile(t, filepath.Join(dir, "ok.log"), benchLog(1, 0)), "-against", filepath.Join(dir, "absent.json")}},
+	} {
+		stdout, stderr, code := run(t, tc.args...)
+		if code == 0 {
+			t.Errorf("%s exited 0\nstdout: %s", tc.name, stdout)
+		}
+		if stderr == "" {
+			t.Errorf("%s produced no stderr diagnostics", tc.name)
+		}
+	}
+}

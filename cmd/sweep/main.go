@@ -15,9 +15,14 @@
 //	sweep -authtree none,tree,ctree -engines xom      # authentication axis
 //	sweep -authtree tree -attack 1,4,16 -format csv   # active-adversary sweep
 //	sweep -suite -jobs 4            # run the E1-E22 suite instead
+//	sweep -jobs 8 -progress         # live refs/sec + ETA on stderr
+//	sweep -progress-json 2>prog.ndjson                # machine-readable progress
+//	sweep -pprof localhost:6060     # net/http/pprof + /metrics JSON snapshot
+//	sweep -format json -o results.json                # write results to a file
 //
 // Output is deterministic: a -jobs 8 run emits bytes identical to a
-// -jobs 1 run (per-task RNG sharding; see internal/campaign).
+// -jobs 1 run (per-task RNG sharding; see internal/campaign), with or
+// without -progress — progress lines go to stderr, never stdout.
 //
 // Workloads are streamed, not materialized: each task's references are
 // generated on the fly from its derived seed, so memory is bounded by
@@ -29,6 +34,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"slices"
 	"strings"
@@ -37,6 +45,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/edu"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -56,6 +65,11 @@ func main() {
 	experiments := flag.String("experiments", "", "experiment ids for -suite, e.g. E1,E6,E17 (default: all)")
 	suiteRefs := flag.Int("suite-refs", core.DefaultRefs, "trace length for -suite experiments")
 	quiet := flag.Bool("q", false, "suppress the stderr progress line")
+	progress := flag.Bool("progress", false, "stream live progress lines (refs/sec, ETA) to stderr; stdout is untouched")
+	progressJSON := flag.Bool("progress-json", false, "emit -progress lines as JSON objects")
+	progressInterval := flag.Duration("progress-interval", time.Second, "period between -progress lines")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and a /metrics JSON snapshot on this address (e.g. localhost:6060)")
+	outPath := flag.String("o", "", "write results to this file instead of stdout")
 	flag.Parse()
 
 	if *suite {
@@ -70,6 +84,9 @@ func main() {
 		}
 		if *format != "table" {
 			fatal(fmt.Errorf("-suite emits experiment tables only; -format %s is not supported", *format))
+		}
+		if *progress || *progressJSON || *pprofAddr != "" || *outPath != "" {
+			fatal(fmt.Errorf("-suite does not support -progress/-progress-json/-pprof/-o; run a grid sweep for live observability"))
 		}
 		start := time.Now()
 		tables, err := campaign.RunSuite(campaign.ParseList(*experiments), *suiteRefs, *jobs)
@@ -120,17 +137,97 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Observability is opt-in and stderr/HTTP-only: the result stream on
+	// stdout (or -o) stays byte-identical with or without it.
+	var reg *obs.Registry
+	if *progress || *progressJSON || *pprofAddr != "" {
+		reg = obs.NewRegistry()
+		runner.Observe(campaign.NewMetrics(reg))
+	}
+	if *pprofAddr != "" {
+		serveDebug(*pprofAddr, reg)
+	}
+	var prog *obs.Progress
+	if *progress || *progressJSON {
+		prog = obs.StartProgress(obs.ProgressConfig{
+			W:        os.Stderr,
+			Interval: *progressInterval,
+			JSON:     *progressJSON,
+			Unit:     "refs",
+			Sample:   func() obs.ProgressSample { return sampleCampaign(reg) },
+		})
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
 	start := time.Now()
 	rep := runner.Run(*jobs)
 	elapsed := time.Since(start)
-	if err := campaign.Emit(os.Stdout, rep, *format); err != nil {
+	if prog != nil {
+		prog.Stop()
+	}
+	if err := campaign.Emit(out, rep, *format); err != nil {
 		fatal(err)
+	}
+	if *outPath != "" {
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "sweep: %d points, jobs=%d, baselines simulated=%d cached-hits=%d, %s\n",
 			len(rep.Results), *jobs, runner.BaselineRuns(), runner.BaselineHits(),
 			elapsed.Round(time.Millisecond))
 	}
+}
+
+// sampleCampaign reads the progress quantities from the registry's
+// campaign.* and soc.* cells.
+func sampleCampaign(reg *obs.Registry) obs.ProgressSample {
+	var note string
+	if busy := reg.Gauge("campaign.workers_busy").Load(); busy > 0 {
+		note = fmt.Sprintf("busy %d", busy)
+	}
+	return obs.ProgressSample{
+		Done:       reg.Counter("soc.refs").Load(),
+		Total:      uint64(reg.Gauge("campaign.refs_planned").Load()),
+		TasksDone:  reg.Counter("campaign.tasks_done").Load(),
+		TasksTotal: uint64(reg.Gauge("campaign.tasks_total").Load()),
+		Note:       note,
+	}
+}
+
+// serveDebug starts the diagnostics endpoint: net/http/pprof under
+// /debug/pprof/ plus the registry's JSON snapshot at /metrics. The
+// listener binds before the sweep starts (a bad address should fail
+// fast), then serves for the life of the process.
+func serveDebug(addr string, reg *obs.Registry) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", reg.Handler())
+	fmt.Fprintf(os.Stderr, "sweep: pprof+metrics on http://%s\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep: debug server:", err)
+		}
+	}()
 }
 
 func fatal(err error) {

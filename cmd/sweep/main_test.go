@@ -1,0 +1,223 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sweepBin is the compiled CLI under test, built once in TestMain so
+// every case exercises the real binary: exit codes, stream separation
+// and flag handling, not just library calls.
+var sweepBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "sweep-test")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	sweepBin = filepath.Join(dir, "sweep")
+	out, err := exec.Command("go", "build", "-o", sweepBin, ".").CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building sweep: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+// run executes the binary and returns stdout, stderr and the exit code.
+func run(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(sweepBin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running sweep: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+func TestBadFlagExitsNonzero(t *testing.T) {
+	stdout, stderr, code := run(t, "-no-such-flag")
+	if code == 0 {
+		t.Error("bad flag exited 0")
+	}
+	if stdout != "" {
+		t.Errorf("bad flag wrote to stdout: %q", stdout)
+	}
+	if !strings.Contains(stderr, "no-such-flag") {
+		t.Errorf("stderr does not name the bad flag: %q", stderr)
+	}
+}
+
+func TestBadOutputPathExitsNonzero(t *testing.T) {
+	stdout, stderr, code := run(t,
+		"-engines", "aegis", "-workloads", "sequential", "-refs", "1000",
+		"-o", filepath.Join(t.TempDir(), "missing-dir", "out.json"))
+	if code == 0 {
+		t.Error("unwritable -o path exited 0")
+	}
+	if stdout != "" {
+		t.Errorf("error run wrote to stdout: %q", stdout)
+	}
+	if !strings.Contains(stderr, "sweep:") {
+		t.Errorf("stderr missing error prefix: %q", stderr)
+	}
+}
+
+func TestSuiteRejectsObservabilityFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-suite", "-progress"},
+		{"-suite", "-pprof", "localhost:0"},
+		{"-suite", "-o", "x.json"},
+	} {
+		_, stderr, code := run(t, args...)
+		if code == 0 {
+			t.Errorf("%v exited 0", args)
+		}
+		if !strings.Contains(stderr, "-suite does not support") {
+			t.Errorf("%v stderr: %q", args, stderr)
+		}
+	}
+}
+
+// The determinism contract with live progress on: a -jobs 8 -progress
+// run must emit stdout byte-identical to -jobs 1 -progress (progress is
+// stderr-only), and the stream must carry at least the final line.
+func TestProgressStdoutDeterministic(t *testing.T) {
+	grid := []string{
+		"-engines", "aegis,xom,gi", "-workloads", "sequential,pointer-chase",
+		"-refs", "3000", "-format", "json", "-q",
+		"-progress", "-progress-interval", "10ms",
+	}
+	out1, err1, code := run(t, append([]string{"-jobs", "1"}, grid...)...)
+	if code != 0 {
+		t.Fatalf("jobs=1 exited %d: %s", code, err1)
+	}
+	out8, err8, code := run(t, append([]string{"-jobs", "8"}, grid...)...)
+	if code != 0 {
+		t.Fatalf("jobs=8 exited %d: %s", code, err8)
+	}
+	if out1 != out8 {
+		t.Error("-jobs 8 -progress stdout differs from -jobs 1 -progress")
+	}
+	for name, se := range map[string]string{"jobs=1": err1, "jobs=8": err8} {
+		if !strings.Contains(se, "progress:") {
+			t.Errorf("%s stderr has no progress lines: %q", name, se)
+		}
+	}
+}
+
+func TestProgressJSONLines(t *testing.T) {
+	_, stderr, code := run(t,
+		"-engines", "aegis", "-workloads", "sequential", "-refs", "2000",
+		"-progress-json", "-q")
+	if code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr)
+	}
+	var sawFinal bool
+	for _, line := range strings.Split(strings.TrimSpace(stderr), "\n") {
+		var rec struct {
+			Done  uint64 `json:"done"`
+			Total uint64 `json:"total"`
+			Unit  string `json:"unit"`
+			Final bool   `json:"final"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON progress line %q: %v", line, err)
+		}
+		if rec.Final {
+			sawFinal = true
+			if rec.Done != rec.Total || rec.Done == 0 {
+				t.Errorf("final line done=%d total=%d", rec.Done, rec.Total)
+			}
+			if rec.Unit != "refs" {
+				t.Errorf("unit = %q", rec.Unit)
+			}
+		}
+	}
+	if !sawFinal {
+		t.Error("no final progress line")
+	}
+}
+
+// -pprof serves the live /metrics snapshot while the sweep runs.
+func TestPprofMetricsEndpoint(t *testing.T) {
+	cmd := exec.Command(sweepBin,
+		"-engines", "aegis,xom,gi,gilmont", "-workloads", "sequential,streaming",
+		"-refs", "2000000", "-jobs", "2", "-q", "-pprof", "127.0.0.1:0")
+	cmd.Stdout = nil
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The debug server announces its bound address before the sweep runs.
+	sc := bufio.NewScanner(stderr)
+	var addr string
+	for sc.Scan() {
+		if _, ok := strings.CutPrefix(sc.Text(), "sweep: pprof+metrics on "); ok {
+			addr, _ = strings.CutPrefix(sc.Text(), "sweep: pprof+metrics on ")
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no debug-server address on stderr (scan err %v)", sc.Err())
+	}
+	go func() { // drain so the child never blocks on a full pipe
+		for sc.Scan() {
+		}
+	}()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+		Gauges   map[string]int64  `json:"gauges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap.Counters["soc.refs"]; !ok {
+		t.Errorf("snapshot has no soc.refs counter: %v", snap.Counters)
+	}
+	if _, ok := snap.Gauges["campaign.tasks_total"]; !ok {
+		t.Errorf("snapshot has no campaign.tasks_total gauge: %v", snap.Gauges)
+	}
+
+	resp2, err := client.Get(addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline status %d", resp2.StatusCode)
+	}
+}

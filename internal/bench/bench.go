@@ -1,0 +1,206 @@
+// Package bench records the repository's performance trajectory: it
+// parses `go test -bench` output into structured results, snapshots
+// them as schema-versioned BENCH_<n>.json files with host metadata,
+// and diffs a fresh run against a recorded snapshot so a perf
+// regression fails loudly instead of compounding silently across PRs.
+//
+// The snapshot sequence (BENCH_1.json, BENCH_2.json, ...) is the
+// perf-trajectory record ROADMAP.md calls for: each optimization PR
+// checks in the next snapshot, and CI re-measures against the latest.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema is the snapshot format version; bump on incompatible change.
+const Schema = 1
+
+// Result is one parsed benchmark line. Metrics maps unit → value
+// exactly as printed ("ns/op", "B/op", "allocs/op", plus any
+// b.ReportMetric units like "ns/ref" or "refs/s").
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// NsPerOp returns the ns/op metric (0 if absent).
+func (r Result) NsPerOp() float64 { return r.Metrics["ns/op"] }
+
+// AllocsPerOp returns the allocs/op metric (0 if absent).
+func (r Result) AllocsPerOp() float64 { return r.Metrics["allocs/op"] }
+
+// Host is the machine fingerprint stored with a snapshot — numbers are
+// only comparable on like hardware, so the diff warns when it differs.
+type Host struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// Snapshot is one recorded benchmark run.
+type Snapshot struct {
+	Schema     int      `json:"schema"`
+	CreatedAt  string   `json:"created_at"`
+	Host       Host     `json:"host"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches one benchmark result line: name, iteration count,
+// then (value, unit) pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// ParseBenchOutput extracts benchmark results from `go test -bench`
+// output. Non-benchmark lines (logs, PASS, ok) are skipped; the -N
+// GOMAXPROCS suffix is stripped from names so snapshots diff across
+// machines with different core counts.
+func ParseBenchOutput(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{
+			Name:       trimProcSuffix(m[1]),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench: bad value %q on line %q", fields[i], sc.Text())
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		if len(res.Metrics) == 0 {
+			continue
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// trimProcSuffix drops the trailing -<gomaxprocs> from a benchmark name.
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// Regression is one benchmark that got materially worse.
+type Regression struct {
+	Name string
+	// Metric names what regressed ("ns/op" or "allocs/op").
+	Metric   string
+	Old, New float64
+	// Ratio is New/Old (allocs 0→n reports +Inf semantics as Ratio 0
+	// with the absolute values carrying the story).
+	Ratio float64
+}
+
+func (r Regression) String() string {
+	if r.Metric == "allocs/op" {
+		return fmt.Sprintf("%s: allocs/op %g -> %g (allocation-free contract broken)", r.Name, r.Old, r.New)
+	}
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%)", r.Name, r.Metric, r.Old, r.New, 100*(r.Ratio-1))
+}
+
+// Diff compares a new snapshot against a recorded one. A benchmark
+// regresses when its ns/op grows by more than threshold (0.20 = 20%),
+// or when a formerly allocation-free benchmark starts allocating —
+// that one has no tolerance: 0 allocs/op is a contract, not a number.
+// Benchmarks present in only one snapshot are ignored (suites grow).
+func Diff(old, cur Snapshot, threshold float64) []Regression {
+	prev := make(map[string]Result, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		prev[r.Name] = r
+	}
+	var regs []Regression
+	for _, now := range cur.Benchmarks {
+		was, ok := prev[now.Name]
+		if !ok {
+			continue
+		}
+		if was.NsPerOp() > 0 && now.NsPerOp() > was.NsPerOp()*(1+threshold) {
+			regs = append(regs, Regression{
+				Name: now.Name, Metric: "ns/op",
+				Old: was.NsPerOp(), New: now.NsPerOp(),
+				Ratio: now.NsPerOp() / was.NsPerOp(),
+			})
+		}
+		if was.AllocsPerOp() == 0 && now.AllocsPerOp() > 0 {
+			if _, tracked := was.Metrics["allocs/op"]; tracked {
+				regs = append(regs, Regression{
+					Name: now.Name, Metric: "allocs/op",
+					Old: 0, New: now.AllocsPerOp(),
+				})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Name < regs[j].Name })
+	return regs
+}
+
+// snapPattern matches snapshot file names and captures the sequence
+// number.
+var snapPattern = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// LatestPath returns the highest-numbered BENCH_<n>.json in dir ("" if
+// none exist).
+func LatestPath(dir string) (string, error) {
+	path, _, err := scanSnapshots(dir)
+	return path, err
+}
+
+// NextPath returns the path the next snapshot should be written to:
+// BENCH_<latest+1>.json (BENCH_1.json in a fresh directory).
+func NextPath(dir string) (string, error) {
+	_, maxN, err := scanSnapshots(dir)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", maxN+1)), nil
+}
+
+func scanSnapshots(dir string) (latest string, maxN int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	for _, e := range entries {
+		m := snapPattern.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		if n > maxN {
+			maxN = n
+			latest = filepath.Join(dir, e.Name())
+		}
+	}
+	return latest, maxN, nil
+}

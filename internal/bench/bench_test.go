@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: whatever
+BenchmarkHotLoopPlaintext-8   	 3546012	       339.4 ns/op	      2946823 refs/s	       0 B/op	       0 allocs/op
+BenchmarkHotLoopAegis-8       	 2000000	       501.0 ns/op	      1996007 refs/s	       0 B/op	       0 allocs/op
+BenchmarkAuthTreeVerifiedRun-8	     100	  11062342 ns/op	       553.1 ns/ref	       0 B/op	       0 allocs/op
+--- BENCH: BenchmarkE1SurveyTable
+    bench_test.go:40: some log line
+PASS
+ok  	repro	12.3s
+`
+
+func parseSample(t *testing.T) []Result {
+	t.Helper()
+	rs, err := ParseBenchOutput(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	rs := parseSample(t)
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(rs), rs)
+	}
+	r := rs[0]
+	if r.Name != "BenchmarkHotLoopPlaintext" {
+		t.Errorf("name = %q (want proc suffix stripped)", r.Name)
+	}
+	if r.Iterations != 3546012 {
+		t.Errorf("iterations = %d", r.Iterations)
+	}
+	if r.NsPerOp() != 339.4 {
+		t.Errorf("ns/op = %g", r.NsPerOp())
+	}
+	if r.Metrics["refs/s"] != 2946823 {
+		t.Errorf("refs/s = %g", r.Metrics["refs/s"])
+	}
+	if r.AllocsPerOp() != 0 {
+		t.Errorf("allocs/op = %g", r.AllocsPerOp())
+	}
+	if rs[2].Metrics["ns/ref"] != 553.1 {
+		t.Errorf("ns/ref = %g", rs[2].Metrics["ns/ref"])
+	}
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	old := Snapshot{Schema: Schema, Benchmarks: parseSample(t)}
+
+	// Same numbers: clean.
+	if regs := Diff(old, old, 0.20); len(regs) != 0 {
+		t.Fatalf("self-diff regressed: %v", regs)
+	}
+
+	// Inject a 2x slowdown on one benchmark and an allocation on
+	// another; both must be flagged, the untouched one must not.
+	cur := Snapshot{Schema: Schema, Benchmarks: parseSample(t)}
+	cur.Benchmarks[0].Metrics["ns/op"] *= 2
+	cur.Benchmarks[1].Metrics["allocs/op"] = 3
+
+	regs := Diff(old, cur, 0.20)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	byName := map[string]Regression{}
+	for _, r := range regs {
+		byName[r.Name] = r
+	}
+	slow := byName["BenchmarkHotLoopPlaintext"]
+	if slow.Metric != "ns/op" || slow.Ratio < 1.9 || slow.Ratio > 2.1 {
+		t.Errorf("slowdown regression = %+v", slow)
+	}
+	alloc := byName["BenchmarkHotLoopAegis"]
+	if alloc.Metric != "allocs/op" || alloc.New != 3 {
+		t.Errorf("alloc regression = %+v", alloc)
+	}
+	if !strings.Contains(alloc.String(), "allocation-free contract") {
+		t.Errorf("alloc regression message: %s", alloc)
+	}
+
+	// Inside the threshold: not a regression.
+	mild := Snapshot{Schema: Schema, Benchmarks: parseSample(t)}
+	mild.Benchmarks[0].Metrics["ns/op"] *= 1.1
+	if regs := Diff(old, mild, 0.20); len(regs) != 0 {
+		t.Errorf("10%% drift flagged at 20%% threshold: %v", regs)
+	}
+}
+
+func TestSnapshotSequence(t *testing.T) {
+	dir := t.TempDir()
+
+	latest, err := LatestPath(dir)
+	if err != nil || latest != "" {
+		t.Fatalf("empty dir: latest=%q err=%v", latest, err)
+	}
+	next, err := NextPath(dir)
+	if err != nil || filepath.Base(next) != "BENCH_1.json" {
+		t.Fatalf("first snapshot path = %q, err=%v", next, err)
+	}
+
+	snap := Snapshot{Schema: Schema, CreatedAt: "2026-08-07T00:00:00Z", Benchmarks: parseSample(t)}
+	b, _ := json.Marshal(snap)
+	for _, name := range []string{"BENCH_1.json", "BENCH_2.json", "BENCH_10.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	latest, err = LatestPath(dir)
+	if err != nil || filepath.Base(latest) != "BENCH_10.json" {
+		t.Fatalf("latest = %q, err=%v", latest, err)
+	}
+	next, err = NextPath(dir)
+	if err != nil || filepath.Base(next) != "BENCH_11.json" {
+		t.Fatalf("next = %q, err=%v", next, err)
+	}
+
+	// Round-trip: a written snapshot reads back identically.
+	var back Snapshot
+	data, err := os.ReadFile(latest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema || len(back.Benchmarks) != 3 {
+		t.Errorf("round-trip snapshot = %+v", back)
+	}
+	if back.Benchmarks[0].NsPerOp() != 339.4 {
+		t.Errorf("round-trip ns/op = %g", back.Benchmarks[0].NsPerOp())
+	}
+}

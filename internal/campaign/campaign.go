@@ -6,6 +6,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/edu"
+	"repro/internal/sim/authtree"
 	"repro/internal/sim/soc"
 	"repro/internal/sim/trace"
 )
@@ -60,6 +61,9 @@ type Runner struct {
 	spec      Spec
 	baselines *memo[soc.Report]
 	results   *memo[Result]
+	// m is the optional live metrics bundle (Observe); nil publishes
+	// nowhere and costs nothing on the simulation path.
+	m *Metrics
 }
 
 // NewRunner validates the spec and prepares an empty-cache runner.
@@ -87,12 +91,34 @@ func (r *Runner) BaselineHits() int64 { return r.baselines.Hits() }
 func (r *Runner) Run(jobs int) *Report {
 	tasks := r.spec.Expand()
 	out := make([]Result, len(tasks))
+	if r.m != nil {
+		r.m.TasksTotal.Set(int64(len(tasks)))
+		r.m.RefsPlanned.Set(int64(plannedRefs(tasks)))
+	}
 	forEach(jobs, len(tasks), func(i int) {
 		cfg := tasks[i].Cfg
+		if r.m != nil {
+			r.m.TasksStarted.Inc()
+			r.m.WorkersBusy.Add(1)
+		}
+		ran := false
 		res, _ := r.results.get(cfg.Key(), func() (Result, error) {
+			ran = true
 			return r.runTask(cfg), nil
 		})
 		out[i] = res
+		if r.m != nil {
+			r.m.WorkersBusy.Add(-1)
+			r.m.TasksDone.Inc()
+			if !ran {
+				r.m.MemoHits.Inc()
+			}
+			if res.Err != "" {
+				r.m.TaskErrors.Inc()
+			}
+			r.m.BaselineRuns.Set(r.baselines.Misses())
+			r.m.BaselineHits.Set(r.baselines.Hits())
+		}
 	})
 	return &Report{Spec: r.spec, Results: out, Summary: Summarize(out)}
 }
@@ -147,6 +173,9 @@ func (r *Runner) runTask(cfg TaskConfig) Result {
 		bcfg := sc
 		bcfg.Engine = edu.Null{}
 		bcfg.Placement = edu.PlacementNone
+		if r.m != nil {
+			bcfg.Metrics = r.m.SoC
+		}
 		s, err := soc.New(bcfg)
 		if err != nil {
 			return soc.Report{}, err
@@ -172,6 +201,12 @@ func (r *Runner) runTask(cfg TaskConfig) Result {
 		return fail(err)
 	}
 	ecfg.Verifier = ver
+	if r.m != nil {
+		ecfg.Metrics = r.m.SoC
+		if t, ok := ver.(*authtree.Tree); ok {
+			t.SetMetrics(r.m.Auth)
+		}
+	}
 	var sched *attack.Schedule
 	if cfg.AttackRate > 0 {
 		// The adversary's seed derives from the protection-independent

@@ -113,6 +113,8 @@ type Tree struct {
 	// NodeHits / NodeFetches split verification walks by node-cache
 	// outcome: the locality the node cache exists to exploit.
 	NodeHits, NodeFetches uint64
+	// m is the live metrics bundle (zero value = publish nowhere).
+	m Metrics
 }
 
 // New builds a tree authenticator.
@@ -240,9 +242,11 @@ func (t *Tree) walkVerify(leaf uint64) uint64 {
 		key := nodeKey(lvl, leaf>>(uint(lvl)*t.log2Arity))
 		if t.cache.probe(key, false) {
 			t.NodeHits++
+			t.m.NodeHits.Inc()
 			return stall + 1
 		}
 		t.NodeFetches++
+		t.m.NodeFetches.Inc()
 		stall += t.fetchCost + uint64(t.cfg.NodeHashCycles)
 		if t.cache.insert(key, false) {
 			stall += t.fetchCost // dirty victim written back
@@ -261,9 +265,11 @@ func (t *Tree) walkUpdate(leaf uint64) uint64 {
 		key := nodeKey(lvl, leaf>>(uint(lvl)*t.log2Arity))
 		if t.cache.probe(key, true) {
 			t.NodeHits++
+			t.m.NodeHits.Inc()
 			return stall + uint64(t.cfg.NodeHashCycles)
 		}
 		t.NodeFetches++
+		t.m.NodeFetches.Inc()
 		stall += t.fetchCost + 2*uint64(t.cfg.NodeHashCycles) // verify, then recompute
 		if t.cache.insert(key, true) {
 			stall += t.fetchCost
@@ -285,6 +291,7 @@ func (t *Tree) VerifyRead(addr uint64, ct []byte) (uint64, bool) {
 	}
 	stall := uint64(t.cfg.TagCycles)
 	want := t.key.TagLine(addr, t.version(addr), ct)
+	t.m.TagComputations.Inc()
 	stored, enrolled := t.ext[addr]
 	if !enrolled {
 		// First sight of a never-written line: enroll it, as boot
@@ -292,14 +299,17 @@ func (t *Tree) VerifyRead(addr uint64, ct []byte) (uint64, bool) {
 		t.ext[addr] = want
 		t.trusted[addr] = want
 		t.Verified++
+		t.m.Verified.Inc()
 		return stall + t.walkUpdate(leaf), true
 	}
 	stall += t.walkVerify(leaf)
 	if want != stored || stored != t.trusted[addr] {
 		t.Violations++
+		t.m.Violations.Inc()
 		return stall, false
 	}
 	t.Verified++
+	t.m.Verified.Inc()
 	return stall, true
 }
 
@@ -315,6 +325,7 @@ func (t *Tree) UpdateWrite(addr uint64, ct []byte) uint64 {
 		t.ver[addr]++
 	}
 	tag := t.key.TagLine(addr, t.version(addr), ct)
+	t.m.TagComputations.Inc()
 	t.ext[addr] = tag
 	t.trusted[addr] = tag
 	return uint64(t.cfg.TagCycles) + t.walkUpdate(leaf)

@@ -92,6 +92,9 @@ type Cache struct {
 	setsN uint64
 	tick  uint64
 	stats Stats
+	// m mirrors the Stats counters into live obs metrics; the zero
+	// value publishes nowhere (nil-safe no-ops).
+	m LevelMetrics
 }
 
 // New builds a cache or reports a bad geometry.
@@ -162,6 +165,7 @@ func (c *Cache) Access(addr uint64, isStore bool) Result {
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			c.stats.Hits++
+			c.m.Hits.Inc()
 			if c.cfg.Policy == LRU {
 				ways[i].used = c.tick
 			}
@@ -182,6 +186,7 @@ func (c *Cache) Access(addr uint64, isStore bool) Result {
 	}
 
 	c.stats.Misses++
+	c.m.Misses.Inc()
 	var res Result
 	res.Slot = -1
 
@@ -229,8 +234,10 @@ func (c *Cache) victimWay(set uint64) (way int, wbAddr uint64, writeback bool) {
 			}
 		}
 		c.stats.Evictions++
+		c.m.Evictions.Inc()
 		if ways[victim].dirty {
 			c.stats.Writebacks++
+			c.m.Writebacks.Inc()
 			writeback = true
 			wbAddr = (ways[victim].tag*c.setsN + set) * uint64(c.cfg.LineSize)
 		}
@@ -255,6 +262,7 @@ func (c *Cache) Install(addr uint64) (slot int, victim DirtyLine, hasVictim bool
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			c.stats.Hits++
+			c.m.Hits.Inc()
 			if c.cfg.Policy == LRU {
 				ways[i].used = c.tick
 			}
@@ -264,6 +272,7 @@ func (c *Cache) Install(addr uint64) (slot int, victim DirtyLine, hasVictim bool
 	}
 
 	c.stats.Misses++
+	c.m.Misses.Inc()
 	way, wbAddr, writeback := c.victimWay(set)
 	if writeback {
 		victim = DirtyLine{Addr: wbAddr, Slot: int(set)*c.cfg.Ways + way}

@@ -1,0 +1,71 @@
+package cache
+
+import "repro/internal/obs"
+
+// LevelMetrics publishes one cache level's event stream into
+// pre-registered obs counters, live, as the simulation runs — the
+// observable twin of Stats. The zero value (all nil counters) disables
+// publishing: obs metrics are nil-receiver-safe no-ops, so the hot
+// path carries no extra branches and never allocates either way.
+type LevelMetrics struct {
+	Hits       *obs.Counter
+	Misses     *obs.Counter
+	Evictions  *obs.Counter
+	Writebacks *obs.Counter
+}
+
+// NewLevelMetrics registers a level's counters under the given prefix
+// ("l1" → "l1.hits", "l1.misses", "l1.evictions", "l1.writebacks").
+func NewLevelMetrics(r *obs.Registry, prefix string) LevelMetrics {
+	return LevelMetrics{
+		Hits:       r.Counter(prefix + ".hits"),
+		Misses:     r.Counter(prefix + ".misses"),
+		Evictions:  r.Counter(prefix + ".evictions"),
+		Writebacks: r.Counter(prefix + ".writebacks"),
+	}
+}
+
+// SetMetrics installs live counters on the cache (zero value to
+// disable). Counters accumulate across runs and across caches sharing
+// the same registry names — the campaign's whole-sweep view.
+func (c *Cache) SetMetrics(m LevelMetrics) { c.m = m }
+
+// HierarchyMetrics publishes line-transfer events between levels and
+// across the chip boundary. Fills/Writebacks count every inter-level
+// transfer; ChipFills/ChipWritebacks the subset that crossed the chip
+// boundary (external bus traffic).
+type HierarchyMetrics struct {
+	Fills          *obs.Counter
+	Writebacks     *obs.Counter
+	ChipFills      *obs.Counter
+	ChipWritebacks *obs.Counter
+}
+
+// NewHierarchyMetrics registers the transfer counters ("hier.fills",
+// "hier.writebacks", "hier.chip_fills", "hier.chip_writebacks").
+func NewHierarchyMetrics(r *obs.Registry) HierarchyMetrics {
+	return HierarchyMetrics{
+		Fills:          r.Counter("hier.fills"),
+		Writebacks:     r.Counter("hier.writebacks"),
+		ChipFills:      r.Counter("hier.chip_fills"),
+		ChipWritebacks: r.Counter("hier.chip_writebacks"),
+	}
+}
+
+// SetMetrics installs live transfer counters (zero value to disable).
+func (h *Hierarchy) SetMetrics(m HierarchyMetrics) { h.m = m }
+
+// observe publishes one emitted event.
+func (m *HierarchyMetrics) observe(ev Event) {
+	if ev.Kind == EvFill {
+		m.Fills.Inc()
+		if ev.PeerSlot < 0 {
+			m.ChipFills.Inc()
+		}
+	} else {
+		m.Writebacks.Inc()
+		if ev.PeerSlot < 0 {
+			m.ChipWritebacks.Inc()
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package soc
+
+import (
+	"repro/internal/obs"
+	"repro/internal/sim/cache"
+)
+
+// Metrics is the SoC's live instrumentation bundle: pre-registered obs
+// metrics the hot loop publishes into with zero allocations. A nil
+// *Config.Metrics (the default) runs the loop with the zero-value
+// bundle — every publish is a nil-receiver no-op — so instrumentation
+// is strictly additive: same simulation, same Report, same 0 allocs/ref.
+//
+// Counters are cumulative across runs and across every SoC sharing the
+// bundle: the campaign installs one bundle on all its workers' systems,
+// and the progress reporter reads whole-sweep refs/sec from it.
+type Metrics struct {
+	// Refs counts processed references — the progress/ETA signal.
+	Refs *obs.Counter
+	// Instructions counts fetch references.
+	Instructions *obs.Counter
+	// Cycles accumulates simulated cycles (refs/cycle rates derive
+	// from the Refs/Cycles pair).
+	Cycles *obs.Counter
+	// EngineLines counts line transfers crossing the EDU boundary
+	// (Report.EngineLines, live).
+	EngineLines *obs.Counter
+	// AuthStalls / AuthViolations are the verifier-side stall cycles
+	// and fail-stop events (Report.AuthStalls/AuthViolations, live).
+	AuthStalls     *obs.Counter
+	AuthViolations *obs.Counter
+	// TransferCycles is the per-line-transfer cost distribution
+	// (power-of-two buckets): fills and writebacks at every boundary,
+	// including verifier walks — the shape of the miss-path tail.
+	TransferCycles *obs.Histogram
+	// L1/L2 mirror each cache level's hit/miss/eviction/writeback
+	// stream; Hier mirrors the hierarchy's transfer events.
+	L1, L2 cache.LevelMetrics
+	Hier   cache.HierarchyMetrics
+}
+
+// NewMetrics registers the SoC metric inventory on r (see DESIGN.md §8
+// for the name list) and returns the bundle to place in Config.Metrics.
+// Registration is idempotent: bundles from the same registry share
+// cells, which is how a whole campaign accumulates into one view.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Refs:           r.Counter("soc.refs"),
+		Instructions:   r.Counter("soc.instructions"),
+		Cycles:         r.Counter("soc.cycles"),
+		EngineLines:    r.Counter("soc.engine_lines"),
+		AuthStalls:     r.Counter("soc.auth_stalls"),
+		AuthViolations: r.Counter("soc.auth_violations"),
+		TransferCycles: r.Histogram("soc.transfer_cycles"),
+		L1:             cache.NewLevelMetrics(r, "l1"),
+		L2:             cache.NewLevelMetrics(r, "l2"),
+		Hier:           cache.NewHierarchyMetrics(r),
+	}
+}

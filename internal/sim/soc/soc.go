@@ -79,6 +79,11 @@ type Config struct {
 	// traffic is fully accounted; Compare flushes both systems, keeping
 	// the overhead comparison apples-to-apples.
 	SkipFinalFlush bool
+	// Metrics, when non-nil, installs live observability: the hot loop
+	// publishes into the bundle's pre-registered atomic metrics with
+	// zero allocations per reference (the obs fixed-registry contract).
+	// nil runs exactly as before — publishes become nil-receiver no-ops.
+	Metrics *Metrics
 }
 
 // Intruder is an active adversary with write access to external state
@@ -210,6 +215,8 @@ type SoC struct {
 	// allocates: inbound ciphertext, outbound ciphertext, and a line of
 	// plaintext for non-resident write-through rewrites.
 	ctIn, ctOut, ptBuf []byte
+	// m is the live metrics bundle (zero value = publish nowhere).
+	m Metrics
 }
 
 // New assembles a system from cfg.
@@ -304,7 +311,7 @@ func New(cfg Config) (*SoC, error) {
 	for i, lvl := range levels {
 		shadows[i] = make([]byte, lvl.Lines()*ls)
 	}
-	return &SoC{
+	s := &SoC{
 		cfg: cfg, hier: hier, cache: c, l2: l2, bus: b, dram: d,
 		engine: eng, verifier: cfg.Verifier,
 		inner: inner, placement: placement, l2Hit: l2Hit,
@@ -312,7 +319,16 @@ func New(cfg Config) (*SoC, error) {
 		ctIn:    make([]byte, ls),
 		ctOut:   make([]byte, ls),
 		ptBuf:   make([]byte, ls),
-	}, nil
+	}
+	if cfg.Metrics != nil {
+		s.m = *cfg.Metrics
+		c.SetMetrics(s.m.L1)
+		if l2 != nil {
+			l2.SetMetrics(s.m.L2)
+		}
+		hier.SetMetrics(s.m.Hier)
+	}
+	return s, nil
 }
 
 // ShadowBytes reports the total size of the resident-line data store —
@@ -441,6 +457,7 @@ func (s *SoC) fill(lineAddr uint64, pt []byte, rep *Report) (cycles, engineStall
 	busCycles := s.bus.Transfer(bus.Read, lineAddr, s.ctIn[:s.transferSize(lineAddr, ls)])
 	s.engine.DecryptLine(lineAddr, pt, s.ctIn)
 	rep.EngineLines++
+	s.m.EngineLines.Inc()
 	transfer := dramCycles + busCycles
 	extra := s.engine.ReadExtraCycles(lineAddr, ls, transfer)
 	cycles = transfer + extra
@@ -461,11 +478,13 @@ func (s *SoC) verifyInbound(lineAddr uint64, ct, pt []byte, rep *Report) uint64 
 		stall += uint64(s.cfg.ViolationCycles)
 		rep.AuthStalls += uint64(s.cfg.ViolationCycles)
 		rep.AuthViolations++
+		s.m.AuthViolations.Inc()
 		clear(pt)
 		if s.cfg.OnViolation != nil {
 			s.cfg.OnViolation(s.curRef, lineAddr)
 		}
 	}
+	s.m.AuthStalls.Add(stall)
 	return stall
 }
 
@@ -478,6 +497,7 @@ func (s *SoC) spill(lineAddr uint64, pt []byte, rep *Report) (cycles, engineStal
 	ls := s.cfg.Cache.LineSize
 	s.engine.EncryptLine(lineAddr, s.ctOut, pt)
 	rep.EngineLines++
+	s.m.EngineLines.Inc()
 	dramCycles := s.dram.AccessCycles(lineAddr)
 	busCycles := s.bus.Transfer(bus.Write, lineAddr, s.ctOut[:s.transferSize(lineAddr, ls)])
 	s.dram.Write(lineAddr, s.ctOut)
@@ -515,6 +535,7 @@ func (s *SoC) innerFill(lineAddr uint64, pt, ct []byte, rep *Report) (cycles, en
 	ls := s.cfg.Cache.LineSize
 	s.engine.DecryptLine(lineAddr, pt, ct)
 	rep.EngineLines++
+	s.m.EngineLines.Inc()
 	extra := s.engine.ReadExtraCycles(lineAddr, ls, s.l2Hit)
 	cycles = s.l2Hit + extra
 	if s.verifier != nil {
@@ -530,11 +551,13 @@ func (s *SoC) innerSpill(lineAddr uint64, pt, ct []byte, rep *Report) (cycles, e
 	ls := s.cfg.Cache.LineSize
 	s.engine.EncryptLine(lineAddr, ct, pt)
 	rep.EngineLines++
+	s.m.EngineLines.Inc()
 	extra := s.engine.WriteExtraCycles(lineAddr, ls)
 	cycles = s.l2Hit + extra
 	if s.verifier != nil {
 		us := s.verifier.UpdateWrite(lineAddr, ct)
 		rep.AuthStalls += us
+		s.m.AuthStalls.Add(us)
 		cycles += us
 	}
 	return cycles, extra
@@ -579,6 +602,7 @@ func (s *SoC) processEvent(ev cache.Event, rep *Report) {
 	rep.Cycles += c
 	rep.StallCycles += c
 	rep.EngineStalls += e
+	s.m.TransferCycles.Observe(c)
 }
 
 // writeThrough costs a store of size bytes at addr going straight to
@@ -617,6 +641,7 @@ func (s *SoC) writeThrough(addr uint64, size, hitSlot int, rep *Report) (cycles,
 	} else {
 		s.engine.DecryptLine(lineAddr, pt, s.ctIn)
 		rep.EngineLines++
+		s.m.EngineLines.Inc()
 		if s.verifier != nil {
 			// The recovered line comes from tamperable memory: verify it
 			// before its plaintext feeds the rewrite.
@@ -625,6 +650,7 @@ func (s *SoC) writeThrough(addr uint64, size, hitSlot int, rep *Report) (cycles,
 	}
 	s.engine.EncryptLine(lineAddr, s.ctOut, pt)
 	rep.EngineLines++
+	s.m.EngineLines.Inc()
 
 	if needRMW {
 		rep.RMWEvents++
@@ -671,6 +697,7 @@ func (s *SoC) updateOutbound(lineAddr uint64, rep *Report) uint64 {
 	}
 	us := s.verifier.UpdateWrite(lineAddr, s.ctOut)
 	rep.AuthStalls += us
+	s.m.AuthStalls.Add(us)
 	return us
 }
 
@@ -694,9 +721,12 @@ func (s *SoC) Run(src trace.RefSource) Report {
 		}
 		s.curRef = rep.Refs
 		rep.Refs++
+		s.m.Refs.Inc()
 		if ref.Kind == trace.Fetch {
 			rep.Instructions++
+			s.m.Instructions.Inc()
 		}
+		cyclesBefore := rep.Cycles
 		rep.Cycles += uint64(ref.Compute)
 
 		isStore := ref.Kind == trace.Store
@@ -716,13 +746,16 @@ func (s *SoC) Run(src trace.RefSource) Report {
 			rep.StallCycles += c
 			rep.EngineStalls += e
 		}
+		s.m.Cycles.Add(rep.Cycles - cyclesBefore)
 	}
 
 	if !s.cfg.SkipFinalFlush {
+		preFlush := rep.Cycles
 		for _, ev := range s.hier.Flush() {
 			s.processEvent(ev, &rep)
 			rep.FlushedLines++
 		}
+		s.m.Cycles.Add(rep.Cycles - preFlush)
 	}
 
 	rep.Cache = s.cache.Stats()

@@ -272,7 +272,7 @@ func TestHotLoopZeroAllocs(t *testing.T) {
 				JumpRate: 0.02, Locality: 0.5,
 			})
 			s.Run(src) // warm DRAM pages and internal state
-			if avg := testing.AllocsPerRun(3, func() { s.Run(src) }); avg != 0 {
+			if avg := allocsPerRun(3, func() { s.Run(src) }); avg != 0 {
 				t.Errorf("Run allocated %.1f times per 20k-ref run, want 0", avg)
 			}
 		})
@@ -463,7 +463,7 @@ func TestVerifiedMissZeroAllocs(t *testing.T) {
 			if rep.AuthViolations != 0 {
 				t.Fatalf("%d violations on an untampered run", rep.AuthViolations)
 			}
-			if avg := testing.AllocsPerRun(3, func() { s.Run(src) }); avg != 0 {
+			if avg := allocsPerRun(3, func() { s.Run(src) }); avg != 0 {
 				t.Errorf("verified Run allocated %.1f times per 20k-ref run, want 0", avg)
 			}
 			// Sanity, not a tuning claim (the relative big-vs-small
@@ -709,7 +709,7 @@ func TestHotLoopZeroAllocsL2(t *testing.T) {
 			if rep.AuthViolations != 0 {
 				t.Fatalf("%d violations on an untampered run", rep.AuthViolations)
 			}
-			if avg := testing.AllocsPerRun(3, func() { s.Run(src) }); avg != 0 {
+			if avg := allocsPerRun(3, func() { s.Run(src) }); avg != 0 {
 				t.Errorf("two-level Run allocated %.1f times per 20k-ref run, want 0", avg)
 			}
 		})
