@@ -1,0 +1,39 @@
+// Package demo is the reprolint driver fixture: one seeded regression
+// per analyzer (the acceptance-criteria trio — a fmt.Sprintf in a hot
+// function, a time.Now in an emitter, a registry map lookup in a
+// publisher) plus one exercised //repro:allow, so the golden JSON
+// covers every output field.
+package demo
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+type metrics struct {
+	refs  *obs.Counter
+	cells map[string]*obs.Counter
+}
+
+//repro:hotpath
+func (m *metrics) HotRef(id int) string {
+	return fmt.Sprintf("ref %d", id)
+}
+
+//repro:deterministic
+func EmitRow() int64 {
+	return time.Now().UnixNano()
+}
+
+//repro:hotpath
+func (m *metrics) Publish() {
+	m.cells["demo.refs"].Inc()
+}
+
+//repro:hotpath
+func (m *metrics) Warm(seen map[int]bool, id int) {
+	seen[id] = true //repro:allow steady-state writes hit existing keys
+	m.refs.Inc()
+}

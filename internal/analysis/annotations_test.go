@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// rootNameRE matches the backticked root names in the DESIGN.md §9
+// table, in the same pkg.(*Recv).Method / pkg.Func shape fullName
+// produces.
+var rootNameRE = regexp.MustCompile("`([a-z][a-z0-9]*\\.(?:\\(\\*?[A-Za-z0-9]+\\)\\.)?[A-Za-z0-9]+)`")
+
+// designRoots parses the "Canonical hot-path roots" table out of
+// DESIGN.md §9: backticked names on table rows between the §9 header
+// and the next section (or EOF).
+func designRoots(t *testing.T) []string {
+	t.Helper()
+	raw, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	start := strings.Index(text, "## §9")
+	if start < 0 {
+		t.Fatal("DESIGN.md has no §9 section")
+	}
+	section := text[start:]
+	if end := strings.Index(section[1:], "\n## "); end >= 0 {
+		section = section[:end+1]
+	}
+	var roots []string
+	for _, line := range strings.Split(section, "\n") {
+		if !strings.HasPrefix(line, "| `") {
+			continue
+		}
+		if m := rootNameRE.FindStringSubmatch(line); m != nil {
+			roots = append(roots, m[1])
+		}
+	}
+	if len(roots) < 10 {
+		t.Fatalf("parsed only %d roots from the §9 table — table or parser drifted", len(roots))
+	}
+	return roots
+}
+
+// TestDesignRootsAnnotated: every root named in the DESIGN.md §9 table
+// must carry //repro:hotpath in source. The table is the canonical
+// list; the source may mark more (every edu.Engine implementation
+// does), but a listed root losing its marker fails here.
+func TestDesignRootsAnnotated(t *testing.T) {
+	prog, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("Load module: %v", err)
+	}
+	ms := collectMarkers(prog)
+	marked := make(map[string]bool)
+	for _, fi := range ms.roots(true) {
+		marked[fullName(fi.Obj)] = true
+	}
+	for _, root := range designRoots(t) {
+		if !marked[root] {
+			t.Errorf("DESIGN.md §9 names %s as a hot-path root, but it carries no //repro:hotpath marker", root)
+		}
+	}
+}
+
+// TestEngineMethodsAnnotated enforces the §9 rule for the open set:
+// every edu.Engine implementation's EncryptLine/DecryptLine and every
+// edu.Verifier's VerifyRead/UpdateWrite must be hotpath-marked, since
+// interface dispatch is not a call-graph edge.
+func TestEngineMethodsAnnotated(t *testing.T) {
+	prog, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("Load module: %v", err)
+	}
+	ms := collectMarkers(prog)
+	hot := map[string]bool{
+		"EncryptLine": true, "DecryptLine": true,
+		"VerifyRead": true, "UpdateWrite": true,
+	}
+	checked := 0
+	for _, fi := range ms.decls {
+		if fi.Obj == nil || fi.Decl.Recv == nil || !hot[fi.Obj.Name()] {
+			continue
+		}
+		switch {
+		case strings.Contains(fi.Pkg.Path, "/internal/attack"):
+			continue // tamper probes replay lines off the hot loop
+		case strings.Contains(fi.Pkg.Path, "/internal/core"):
+			continue // one-shot experiment-table adapters, not the streaming loop
+		}
+		checked++
+		if !fi.Hotpath {
+			t.Errorf("%s implements a per-reference interface method but carries no //repro:hotpath marker", fullName(fi.Obj))
+		}
+	}
+	if checked < 15 {
+		t.Fatalf("only %d per-reference methods found — method-name sweep drifted", checked)
+	}
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// callGraph is the static, direct-call graph over module functions.
+// Only calls whose callee is statically resolvable are edges: plain
+// function calls, qualified package calls, and method calls on concrete
+// receivers. Calls through interfaces or function values are NOT edges —
+// the contract there is that every implementation carries its own
+// marker (enforced socially by DESIGN.md §9 and dynamically by the
+// AllocsPerRun pins), because the truth of a devirtualized target is a
+// whole-program property a per-PR linter should not guess at.
+type callGraph struct {
+	callees map[*types.Func][]*types.Func
+}
+
+func buildCallGraph(prog *Program) *callGraph {
+	g := &callGraph{callees: make(map[*types.Func][]*types.Func)}
+	for _, fi := range prog.markers.decls {
+		if fi.Decl.Body == nil || fi.Obj == nil {
+			continue
+		}
+		seen := make(map[*types.Func]bool)
+		// FuncLit bodies are walked as part of the enclosing function:
+		// a closure defined in a hot function runs on the hot path.
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(fi.Pkg, call)
+			if callee == nil || seen[callee] {
+				return true
+			}
+			if pkg := callee.Pkg(); pkg == nil || !prog.Local(pkg.Path()) {
+				return true
+			}
+			seen[callee] = true
+			g.callees[fi.Obj] = append(g.callees[fi.Obj], callee)
+			return true
+		})
+	}
+	return g
+}
+
+// calleeOf statically resolves a call's target, or nil when the target
+// is dynamic (interface method, function value, type conversion).
+func calleeOf(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			// A method call on an interface value has no static body;
+			// returning it is harmless (no decl) but misleading for
+			// root attribution, so drop it explicitly.
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			return fn
+		}
+		// Qualified call: pkg.Func.
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// reached records why a function is subject to a contract: the marked
+// root it was reached from (root == fn for the roots themselves).
+type reached struct {
+	fn   *FuncInfo
+	root *FuncInfo
+}
+
+// reachableFrom walks the call graph breadth-first from the marked
+// roots and returns every module function with a body that the contract
+// covers, each attributed to one originating root. Iteration order is
+// deterministic (sorted by function full name).
+func (p *Program) reachableFrom(roots []*FuncInfo) []reached {
+	sort.Slice(roots, func(i, j int) bool {
+		return fullName(roots[i].Obj) < fullName(roots[j].Obj)
+	})
+	rootOf := make(map[*types.Func]*FuncInfo)
+	var queue []*types.Func
+	for _, r := range roots {
+		if r.Obj == nil || rootOf[r.Obj] != nil {
+			continue
+		}
+		rootOf[r.Obj] = r
+		queue = append(queue, r.Obj)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range p.graph.callees[fn] {
+			if rootOf[callee] != nil {
+				continue
+			}
+			if p.markers.decls[callee] == nil {
+				continue // no body loaded (e.g. interface method)
+			}
+			rootOf[callee] = rootOf[fn]
+			queue = append(queue, callee)
+		}
+	}
+	var out []reached
+	for fn, root := range rootOf {
+		fi := p.markers.decls[fn]
+		if fi == nil || fi.Decl.Body == nil {
+			continue
+		}
+		out = append(out, reached{fn: fi, root: root})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return fullName(out[i].fn.Obj) < fullName(out[j].fn.Obj)
+	})
+	return out
+}
+
+// fullName is types.Func.FullName without the module path noise:
+// "soc.(*SoC).Run" instead of "(*repro/internal/sim/soc.SoC).Run".
+func fullName(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	name := fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		if fn.Pkg() != nil {
+			return fn.Pkg().Name() + "." + name
+		}
+		return name
+	}
+	recv := sig.Recv().Type()
+	ptr := ""
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+		ptr = "*"
+	}
+	recvName := recv.String()
+	if named, ok := recv.(*types.Named); ok {
+		recvName = named.Obj().Name()
+	}
+	pkgName := ""
+	if fn.Pkg() != nil {
+		pkgName = fn.Pkg().Name() + "."
+	}
+	if ptr != "" {
+		return pkgName + "(" + ptr + recvName + ")." + name
+	}
+	return pkgName + recvName + "." + name
+}
+
+// viaClause renders the attribution suffix for propagated diagnostics.
+func viaClause(r reached) string {
+	if r.fn == r.root {
+		return ""
+	}
+	return " (reached from " + strings.TrimSpace(fullName(r.root.Obj)) + ")"
+}

@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The escape heuristic: deliberately conservative in the direction of
+// false NEGATIVES. A hot-path allocation the linter misses is still
+// caught by the dynamic AllocsPerRun pins; a false positive would push
+// people toward blanket //repro:allow markers, which is worse. The
+// rules are one-level: an allocation bound to a plain local variable is
+// clean only if every use of that variable is a recognized non-escaping
+// use; aliasing into a second local is trusted (not tracked further).
+
+// escapeUse classifies how an allocating expression is consumed by its
+// immediate syntactic parent.
+func escapesAt(pkg *Package, fi *FuncInfo, alloc ast.Expr, stack []ast.Node) (bool, string) {
+	child := ast.Node(alloc)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = parent
+			continue
+		case *ast.CallExpr:
+			if child == parent.Fun {
+				return false, "" // conversion operand handled elsewhere
+			}
+			switch builtinName(pkg, parent) {
+			case "len", "cap", "copy", "delete", "clear", "panic":
+				return false, ""
+			case "append":
+				if len(parent.Args) > 0 && parent.Args[0] == child {
+					// The base operand of append: growth is the append
+					// rule's business, not the literal's.
+					return false, ""
+				}
+				return true, "appended into a slice"
+			}
+			return true, "passed to a call"
+		case *ast.AssignStmt:
+			v := assignedLocal(pkg, fi, parent, child)
+			if v == nil {
+				return true, "stored outside the local frame"
+			}
+			return localEscapes(pkg, fi, v)
+		case *ast.ValueSpec:
+			for j, val := range parent.Values {
+				if val != child || j >= len(parent.Names) {
+					continue
+				}
+				if v, ok := pkg.Info.Defs[parent.Names[j]].(*types.Var); ok {
+					return localEscapes(pkg, fi, v)
+				}
+			}
+			return true, "stored outside the local frame"
+		case *ast.ReturnStmt:
+			return true, "returned"
+		case *ast.CompositeLit, *ast.KeyValueExpr:
+			return true, "stored in a composite literal"
+		case *ast.SendStmt:
+			return true, "sent on a channel"
+		case *ast.IndexExpr, *ast.SliceExpr, *ast.StarExpr, *ast.SelectorExpr:
+			// make(...)[i], make(...)[:n] etc: consumed in place.
+			return false, ""
+		case *ast.ExprStmt:
+			return false, "" // discarded
+		case *ast.RangeStmt:
+			if parent.X == child {
+				return false, "" // ranged over in place
+			}
+			return true, "used in range clause"
+		case *ast.DeferStmt, *ast.GoStmt:
+			return true, "captured by defer/go"
+		default:
+			return true, "escapes"
+		}
+	}
+	return true, "escapes"
+}
+
+// assignedLocal returns the local variable the expression is bound to in
+// the assignment, or nil when the destination is anything other than a
+// plain function-local identifier.
+func assignedLocal(pkg *Package, fi *FuncInfo, as *ast.AssignStmt, rhs ast.Node) *types.Var {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil
+	}
+	for i, r := range as.Rhs {
+		if r != rhs {
+			continue
+		}
+		id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		var v *types.Var
+		if d, ok := pkg.Info.Defs[id].(*types.Var); ok {
+			v = d
+		} else if u, ok := pkg.Info.Uses[id].(*types.Var); ok {
+			v = u
+		}
+		if v != nil && isLocalVar(fi, v) {
+			return v
+		}
+		return nil
+	}
+	return nil
+}
+
+// isLocalVar reports whether v is declared inside the function body
+// (not a parameter capture concern here — params are local too, but a
+// param already came from the caller, so storing into it is fine).
+func isLocalVar(fi *FuncInfo, v *types.Var) bool {
+	return fi.Decl != nil && v.Pos() >= fi.Decl.Pos() && v.Pos() <= fi.Decl.End()
+}
+
+// localEscapes scans every use of a local variable bound to a fresh
+// allocation and reports the first escaping use.
+func localEscapes(pkg *Package, fi *FuncInfo, v *types.Var) (bool, string) {
+	escaped := false
+	reason := ""
+	inspectStack(fi.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		if escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pkg.Info.Uses[id] != v {
+			return true
+		}
+		if esc, why := useEscapes(pkg, fi, v, id, stack); esc {
+			escaped, reason = true, why+" via "+v.Name()
+		}
+		return true
+	})
+	return escaped, reason
+}
+
+// useEscapes classifies one use of the tracked variable.
+func useEscapes(pkg *Package, fi *FuncInfo, v *types.Var, id *ast.Ident, stack []ast.Node) (bool, string) {
+	child := ast.Node(id)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = parent
+			continue
+		case *ast.ReturnStmt:
+			return true, "returned"
+		case *ast.CallExpr:
+			if child == parent.Fun {
+				return false, ""
+			}
+			switch builtinName(pkg, parent) {
+			case "len", "cap", "copy", "delete", "clear", "panic":
+				return false, ""
+			case "append":
+				if len(parent.Args) > 0 && parent.Args[0] == child {
+					return false, "" // v = append(v, ...): growth, not escape
+				}
+				return true, "appended into a slice"
+			}
+			return true, "passed to a call"
+		case *ast.UnaryExpr:
+			if parent.Op.String() == "&" {
+				return true, "address taken"
+			}
+			return false, ""
+		case *ast.AssignStmt:
+			// v on the LHS: writing INTO the allocation is fine
+			// (v[i] = x, v = append(v, ...)).
+			for _, l := range parent.Lhs {
+				if containsNode(l, id) {
+					return false, ""
+				}
+			}
+			// v on the RHS: fine if the destination is another plain
+			// local (one-level aliasing is trusted), escaping otherwise.
+			if local := aliasTarget(pkg, fi, parent, child); local {
+				return false, ""
+			}
+			return true, "stored outside the local frame"
+		case *ast.CompositeLit, *ast.KeyValueExpr:
+			return true, "stored in a composite literal"
+		case *ast.SendStmt:
+			return true, "sent on a channel"
+		case *ast.IndexExpr:
+			if parent.X == child {
+				return false, "" // v[i]
+			}
+			child = parent
+			continue
+		case *ast.SliceExpr, *ast.SelectorExpr, *ast.StarExpr, *ast.BinaryExpr,
+			*ast.ExprStmt, *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt, *ast.BlockStmt,
+			*ast.CaseClause, *ast.IncDecStmt, *ast.DeclStmt, *ast.TypeAssertExpr:
+			if r, ok := parent.(*ast.SliceExpr); ok && r.X == child {
+				return false, ""
+			}
+			child = stack[i]
+			if _, isExpr := parent.(ast.Expr); !isExpr {
+				return false, ""
+			}
+			continue
+		case *ast.RangeStmt:
+			return false, ""
+		case *ast.DeferStmt, *ast.GoStmt:
+			return true, "captured by defer/go"
+		case *ast.FuncLit:
+			return true, "captured by a closure"
+		default:
+			child = stack[i]
+			continue
+		}
+	}
+	return false, ""
+}
+
+// aliasTarget reports whether the assignment binds the use to another
+// plain local variable (w := v).
+func aliasTarget(pkg *Package, fi *FuncInfo, as *ast.AssignStmt, rhs ast.Node) bool {
+	if len(as.Lhs) != len(as.Rhs) {
+		return false
+	}
+	for i, r := range as.Rhs {
+		if !containsNode(r, rhs) {
+			continue
+		}
+		id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if id.Name == "_" {
+			return true
+		}
+		var v *types.Var
+		if d, ok := pkg.Info.Defs[id].(*types.Var); ok {
+			v = d
+		} else if u, ok := pkg.Info.Uses[id].(*types.Var); ok {
+			v = u
+		}
+		return v != nil && isLocalVar(fi, v)
+	}
+	return false
+}
+
+// containsNode reports whether root's subtree contains target.
+func containsNode(root, target ast.Node) bool {
+	if root == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

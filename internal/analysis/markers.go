@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Marker grammar (see DESIGN.md §9):
+//
+//	//repro:hotpath        — on a function's doc comment: the function and
+//	                         every same-module function it (statically)
+//	                         calls must be allocation-free. Before the
+//	                         package clause: applies to every function in
+//	                         that file.
+//	//repro:deterministic  — same placement rules; the reachable code must
+//	                         not consult wall-clock time, global RNG, the
+//	                         environment, or unsorted map iteration.
+//	//repro:allow <reason> — on (or directly above) a flagged line:
+//	                         suppresses diagnostics on that line. The
+//	                         reason is mandatory; the driver counts and
+//	                         reports every allowance it uses, and a stale
+//	                         allowance (suppressing nothing) is itself a
+//	                         diagnostic.
+const (
+	markerPrefix      = "//repro:"
+	markerHotpath     = "hotpath"
+	markerDeterminism = "deterministic"
+	markerAllow       = "allow"
+)
+
+// FuncInfo is the per-function record the analyzers share: declaration,
+// owning package, and which contracts the function is a root of.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	Hotpath       bool
+	Deterministic bool
+}
+
+// allowMark is one //repro:allow comment. It suppresses diagnostics on
+// its own line and on the line directly below (so it works both as a
+// trailing comment and as a comment above the statement).
+type allowMark struct {
+	Pos    token.Position
+	Reason string
+	Used   int
+}
+
+type markerSet struct {
+	funcs map[*types.Func]*FuncInfo
+	// decls indexes every function declaration, marked or not, for
+	// call-graph body lookup.
+	decls map[*types.Func]*FuncInfo
+	// allows maps filename → line → mark.
+	allows map[string]map[int]*allowMark
+	// order keeps allows in file/line order for stable reporting.
+	order []*allowMark
+	// diags holds marker-grammar problems (unknown directive, missing
+	// reason, misplaced marker).
+	diags []Diagnostic
+}
+
+func collectMarkers(prog *Program) *markerSet {
+	ms := &markerSet{
+		funcs:  make(map[*types.Func]*FuncInfo),
+		decls:  make(map[*types.Func]*FuncInfo),
+		allows: make(map[string]map[int]*allowMark),
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ms.collectFile(prog, pkg, file)
+		}
+	}
+	return ms
+}
+
+func (ms *markerSet) collectFile(prog *Program, pkg *Package, file *ast.File) {
+	// Index doc comments so directives can be classified by placement.
+	funcDocs := make(map[*ast.CommentGroup]*ast.FuncDecl)
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+			funcDocs[fd.Doc] = fd
+		}
+	}
+
+	fileHot, fileDet := false, false
+	for _, group := range file.Comments {
+		fileLevel := group.End() < file.Package
+		target := funcDocs[group]
+		for _, c := range group.List {
+			directive, arg, ok := parseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			pos := prog.Fset.Position(c.Pos())
+			switch directive {
+			case markerHotpath, markerDeterminism:
+				switch {
+				case target != nil:
+					fi := ms.funcInfo(pkg, target)
+					if directive == markerHotpath {
+						fi.Hotpath = true
+					} else {
+						fi.Deterministic = true
+					}
+				case fileLevel:
+					if directive == markerHotpath {
+						fileHot = true
+					} else {
+						fileDet = true
+					}
+				default:
+					ms.diags = append(ms.diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "markers",
+						Message:  "//repro:" + directive + " must be on a function's doc comment or before the package clause",
+					})
+				}
+			case markerAllow:
+				if arg == "" {
+					ms.diags = append(ms.diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "markers",
+						Message:  "//repro:allow requires a reason",
+					})
+					continue
+				}
+				mark := &allowMark{Pos: pos, Reason: arg}
+				byLine := ms.allows[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]*allowMark)
+					ms.allows[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = mark
+				ms.order = append(ms.order, mark)
+			default:
+				ms.diags = append(ms.diags, Diagnostic{
+					Pos:      pos,
+					Analyzer: "markers",
+					Message:  "unknown directive //repro:" + directive,
+				})
+			}
+		}
+	}
+
+	if fileHot || fileDet {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fi := ms.funcInfo(pkg, fd)
+			fi.Hotpath = fi.Hotpath || fileHot
+			fi.Deterministic = fi.Deterministic || fileDet
+		}
+	}
+
+	// Register every declaration for call-graph lookup.
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok {
+			ms.funcInfo(pkg, fd)
+		}
+	}
+}
+
+func (ms *markerSet) funcInfo(pkg *Package, decl *ast.FuncDecl) *FuncInfo {
+	obj, _ := pkg.Info.Defs[decl.Name].(*types.Func)
+	if obj == nil {
+		return &FuncInfo{Decl: decl, Pkg: pkg}
+	}
+	if fi, ok := ms.decls[obj]; ok {
+		return fi
+	}
+	fi := &FuncInfo{Obj: obj, Decl: decl, Pkg: pkg}
+	ms.decls[obj] = fi
+	ms.funcs[obj] = fi
+	return fi
+}
+
+// parseDirective splits "//repro:word rest" into (word, rest, true).
+func parseDirective(text string) (directive, arg string, ok bool) {
+	rest, found := strings.CutPrefix(text, markerPrefix)
+	if !found {
+		return "", "", false
+	}
+	directive, arg, _ = strings.Cut(rest, " ")
+	return strings.TrimSpace(directive), strings.TrimSpace(arg), true
+}
+
+// allowFor returns the allowance covering a diagnostic at pos: a
+// //repro:allow on the same line or on the line directly above.
+func (ms *markerSet) allowFor(pos token.Position) *allowMark {
+	byLine := ms.allows[pos.Filename]
+	if byLine == nil {
+		return nil
+	}
+	if m := byLine[pos.Line]; m != nil {
+		return m
+	}
+	return byLine[pos.Line-1]
+}
+
+// roots returns the marked roots for one contract.
+func (ms *markerSet) roots(hotpath bool) []*FuncInfo {
+	var out []*FuncInfo
+	for _, fi := range ms.decls {
+		if (hotpath && fi.Hotpath) || (!hotpath && fi.Deterministic) {
+			out = append(out, fi)
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MetricsDiscipline enforces the observability rule from DESIGN.md §8:
+// hot-path code publishes only through pre-registered obs cells held by
+// value. The registry (its mutex, its maps) is a setup/reader-side
+// structure; touching it from a //repro:hotpath-reachable function is a
+// contract violation even when hotpathalloc can't prove an allocation.
+//
+// Flagged, in hotpath-reachable code: any *obs.Registry method call,
+// obs.NewRegistry, reader-side Histogram.Snapshot, and map lookups that
+// fetch a metric cell (map values of type *obs.Counter/Gauge/Histogram).
+var MetricsDiscipline = &Analyzer{
+	Name: "metricsdiscipline",
+	Doc:  "flags obs registry walks and metric-cell map lookups reachable from //repro:hotpath roots",
+	Run:  runMetricsDiscipline,
+}
+
+func runMetricsDiscipline(prog *Program) []Diagnostic {
+	obsPath := prog.ModPath + "/internal/obs"
+	var diags []Diagnostic
+	for _, r := range prog.reachableFrom(prog.markers.roots(true)) {
+		diags = append(diags, checkMetrics(prog, r, obsPath)...)
+	}
+	return diags
+}
+
+func checkMetrics(prog *Program, r reached, obsPath string) []Diagnostic {
+	var diags []Diagnostic
+	fi, pkg := r.fn, r.fn.Pkg
+	via := viaClause(r)
+	report := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:      prog.Fset.Position(pos),
+			Analyzer: "metricsdiscipline",
+			Message:  msg + via,
+		})
+	}
+
+	inspectStack(fi.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			callee := calleeOf(pkg, node)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != obsPath {
+				return true
+			}
+			switch recv := receiverTypeName(callee); {
+			case recv == "Registry":
+				report(node.Pos(), "obs.Registry."+callee.Name()+" on the hot path: publishers must hold cells by value, registered at setup")
+			case recv == "Histogram" && callee.Name() == "Snapshot":
+				report(node.Pos(), "Histogram.Snapshot on the hot path: snapshots are reader-side")
+			case recv == "" && callee.Name() == "NewRegistry":
+				report(node.Pos(), "obs.NewRegistry on the hot path: registries are built at setup")
+			}
+		case *ast.IndexExpr:
+			if !isMapType(typeOf(pkg, node.X)) {
+				return true
+			}
+			m, _ := typeOf(pkg, node.X).Underlying().(*types.Map)
+			if m != nil && isObsCellPtr(m.Elem(), obsPath) {
+				report(node.Pos(), "metric cell fetched through a map on the hot path: hold the cell by value")
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// receiverTypeName returns the bare receiver type name of a method
+// ("Registry" for *obs.Registry), or "" for plain functions.
+func receiverTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// isObsCellPtr reports whether t is *obs.Counter, *obs.Gauge, or
+// *obs.Histogram.
+func isObsCellPtr(t types.Type, obsPath string) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != obsPath {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Counter", "Gauge", "Histogram":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+// Package determfix is the determinism fixture: wall-clock reads,
+// global RNG, environment reads, and map-iteration ordering.
+package determfix
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// StampResult is the canonical seeded regression: a wall-clock read in
+// a marked emitter.
+//
+//repro:deterministic
+func StampResult() int64 {
+	return time.Now().UnixNano() // want `call to time\.Now reads the wall clock`
+}
+
+//repro:deterministic
+func GlobalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn shares seed state across the process`
+}
+
+//repro:deterministic
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // explicitly-seeded instance: clean
+	return r.Intn(10)
+}
+
+//repro:deterministic
+func Env() string {
+	return os.Getenv("HOME") // want `call to os\.Getenv reads the environment`
+}
+
+//repro:deterministic
+func UnsortedWalk(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is randomized`
+		total += v
+	}
+	return total
+}
+
+//repro:deterministic
+func SortedWalk(m map[string]int) []string {
+	var keys []string
+	for k := range m { // sorted-keys idiom: clean
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// EmitAll demonstrates propagation: stamp is unmarked but reachable.
+//
+//repro:deterministic
+func EmitAll() int64 {
+	return stamp()
+}
+
+func stamp() int64 {
+	return time.Now().Unix() // want `call to time\.Now reads the wall clock \(reached from determfix\.EmitAll\)`
+}

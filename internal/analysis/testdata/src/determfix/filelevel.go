@@ -1,0 +1,14 @@
+// This file carries a file-level marker: every function in it is a
+// deterministic root without per-function annotations.
+//
+//repro:deterministic
+
+package determfix
+
+import "time"
+
+func fileLevelMarked() time.Duration {
+	return time.Since(time.Time{}) // want `call to time\.Since reads the wall clock`
+}
+
+var _ = fileLevelMarked

@@ -1,0 +1,191 @@
+// Package hotfix is the hotpathalloc fixture: each function exercises
+// one rule, with // want assertions for flagged constructs and bare
+// comments for the deliberately-clean ones.
+package hotfix
+
+import "fmt"
+
+type box struct{ v int }
+
+func sink(v any) { _ = v }
+
+// SeededSprintf is the canonical seeded regression: a fmt call in a
+// marked hot function.
+//
+//repro:hotpath
+func SeededSprintf(id int) {
+	msg := fmt.Sprintf("ref %d", id) // want `call to fmt\.Sprintf allocates`
+	_ = msg
+}
+
+//repro:hotpath
+func Concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//repro:hotpath
+func ConstConcat() string {
+	return "a" + "b" // constant-folded: clean
+}
+
+//repro:hotpath
+func Convert(b []byte) string {
+	return string(b) // want `string conversion allocates a copy`
+}
+
+//repro:hotpath
+func MapWrite(m map[int]int) {
+	m[1] = 2 // want `map write may allocate \(grow/insert\)`
+}
+
+//repro:hotpath
+func MapInc(m map[int]int) {
+	m[1]++ // want `map write may allocate \(grow/insert\)`
+}
+
+//repro:hotpath
+func SelfAppend(buf []byte, b byte) []byte {
+	buf = append(buf, b) // self-append idiom: clean
+	return buf
+}
+
+//repro:hotpath
+func FreshAppend(src []byte) []byte {
+	out := append([]byte(nil), src...) // want `append outside the self-append idiom`
+	return out
+}
+
+//repro:hotpath
+func LocalScratch() int {
+	buf := make([]byte, 32) // constant-size, never escapes: clean
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	return len(buf)
+}
+
+//repro:hotpath
+func EscapingMake() []byte {
+	buf := make([]byte, 32) // want `make escapes \(returned via buf\) and allocates`
+	return buf
+}
+
+//repro:hotpath
+func DynamicMake(n int) {
+	buf := make([]byte, n) // want `make with non-constant size allocates`
+	_ = buf
+}
+
+//repro:hotpath
+func NewEscapes() *box {
+	return new(box) // want `new escapes \(returned\) and allocates`
+}
+
+//repro:hotpath
+func PtrLit() *box {
+	return &box{v: 1} // want `&composite literal escapes \(returned\) and allocates`
+}
+
+//repro:hotpath
+func ValueLit() int {
+	b := box{v: 2} // value composite literal: clean
+	return b.v
+}
+
+//repro:hotpath
+func SliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal escapes \(returned\) and allocates`
+}
+
+//repro:hotpath
+func MapLit() {
+	m := map[int]int{} // want `map literal allocates`
+	_ = m
+}
+
+//repro:hotpath
+func Boxes(n int) {
+	sink(n) // want `value boxed into interface argument allocates`
+}
+
+//repro:hotpath
+func NoBoxPointer(p *box) {
+	sink(p) // pointer-shaped values fit the interface word: clean
+}
+
+//repro:hotpath
+func ConstBox() {
+	sink(42) // constant conversions are statically allocated: clean
+}
+
+//repro:hotpath
+func BoxAssign(n int) {
+	var v any
+	v = n // want `value boxed into interface on assignment allocates`
+	_ = v
+}
+
+//repro:hotpath
+func BoxReturn(n int) any {
+	return n // want `value boxed into interface result allocates`
+}
+
+//repro:hotpath
+func CapturingClosure(n int) func() int {
+	f := func() int { return n } // want `closure captures n and allocates`
+	return f
+}
+
+//repro:hotpath
+func StaticClosure() func() int {
+	f := func() int { return 7 } // non-capturing closures are static: clean
+	return f
+}
+
+//repro:hotpath
+func Spawns() {
+	go func() {}() // want `go statement allocates a goroutine`
+}
+
+//repro:hotpath
+func DeferLoop(fns []func()) {
+	for _, f := range fns {
+		defer f() // want `defer inside a loop allocates per iteration`
+	}
+}
+
+//repro:hotpath
+func DeferOnce(f func()) {
+	defer f() // single defer outside loops is open-coded: clean
+}
+
+//repro:hotpath
+func Assert(ok bool) {
+	if !ok {
+		panic(fmt.Sprintf("broken invariant %v", ok)) // assertion path: exempt
+	}
+}
+
+// Root demonstrates propagation: helper is unmarked but reachable.
+//
+//repro:hotpath
+func Root(m map[string]int) int {
+	return helper(m)
+}
+
+func helper(m map[string]int) int {
+	m["k"] = 1 // want `map write may allocate \(grow/insert\) \(reached from hotfix\.Root\)`
+	return len(m)
+}
+
+//repro:hotpath
+func Allowed(m map[string]int) {
+	m["warm"] = 1 //repro:allow steady-state writes hit existing keys
+}
+
+type iface interface{ Do() }
+
+//repro:hotpath
+func DynCall(i iface) {
+	i.Do() // dynamic dispatch is not an edge; implementations carry their own markers
+}

@@ -7,11 +7,13 @@
 // the fail-stop event (detection latency — bounded only by cache
 // residency, which is why the survey-era literature measures it).
 
+//repro:deterministic
 package attack
 
 import (
 	"bytes"
 	"math/rand"
+	"slices"
 
 	"repro/internal/sim/soc"
 	"repro/internal/sim/trace"
@@ -348,11 +350,13 @@ func (r *reservoir) pick(rng *rand.Rand) (uint64, bool) {
 	return r.buf[(r.next-back+len(r.buf))%len(r.buf)], true
 }
 
-// PendingAddrs lists tampered lines still awaiting detection (debug).
+// PendingAddrs lists tampered lines still awaiting detection (debug),
+// in ascending address order so callers see a stable listing.
 func (sc *Schedule) PendingAddrs() []uint64 {
 	out := make([]uint64, 0, len(sc.pending))
 	for a := range sc.pending {
 		out = append(out, a)
 	}
+	slices.Sort(out)
 	return out
 }

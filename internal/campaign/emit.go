@@ -1,3 +1,4 @@
+//repro:deterministic
 package campaign
 
 import (

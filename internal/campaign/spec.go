@@ -12,6 +12,8 @@
 // so all engines at one grid point share a trace and a baseline), and
 // results are slotted by task index, so a `-jobs 8` sweep emits bytes
 // identical to a `-jobs 1` sweep.
+//
+//repro:deterministic
 package campaign
 
 import (

@@ -124,6 +124,8 @@ func (k *Key) absorb(y *fieldElement, block []byte) {
 // Sum computes the full 16-byte GHASH of data, allocation-free. A
 // ragged tail is zero-padded, and a final length block closes the
 // polynomial, so inputs of different lengths never collide by padding.
+//
+//repro:hotpath
 func (k *Key) Sum(data []byte) [KeySize]byte {
 	var y fieldElement
 	k.sumInto(&y, data)
@@ -157,6 +159,8 @@ func (k *Key) serialize(y *fieldElement) [KeySize]byte {
 // per protected node: GHASH over a prefix block carrying the address
 // and version (the bindings that stop splicing and replay) followed by
 // the node's bytes. Allocation-free.
+//
+//repro:hotpath
 func (k *Key) TagLine(addr, version uint64, data []byte) Tag {
 	var y fieldElement
 	var prefix [KeySize]byte

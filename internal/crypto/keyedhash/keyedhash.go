@@ -103,60 +103,104 @@ func (d *Digest) block(p []byte) {
 	d.h[7] += h
 }
 
-// Sum appends the digest of everything written so far to in and returns
-// the result; the digest state is not disturbed.
-func (d *Digest) Sum(in []byte) []byte {
+// SumFixed returns the digest of everything written so far without
+// allocating; the digest state is not disturbed. This is the hot-path
+// form — the per-line verifiers call it once per bus line.
+//
+//repro:hotpath
+func (d *Digest) SumFixed() [Size]byte {
 	c := *d // pad a copy so further Writes continue the stream
-	var pad [BlockSize + 8]byte
-	pad[0] = 0x80
+	var tail [BlockSize + 8]byte
+	tail[0] = 0x80
 	padLen := BlockSize - (int(c.length)+9)%BlockSize + 1
 	if padLen == BlockSize+1 {
 		padLen = 1
 	}
-	lenBits := c.length * 8
-	tail := make([]byte, padLen+8)
-	copy(tail, pad[:padLen])
-	binary.BigEndian.PutUint64(tail[padLen:], lenBits)
-	c.Write(tail)
-	out := make([]byte, Size)
+	binary.BigEndian.PutUint64(tail[padLen:padLen+8], c.length*8)
+	c.Write(tail[:padLen+8])
+	var out [Size]byte
 	for i, v := range c.h {
 		binary.BigEndian.PutUint32(out[4*i:], v)
 	}
-	return append(in, out...)
+	return out
+}
+
+// Sum appends the digest of everything written so far to in and returns
+// the result; the digest state is not disturbed. (hash.Hash-style
+// convenience; use SumFixed on allocation-free paths.)
+func (d *Digest) Sum(in []byte) []byte {
+	out := d.SumFixed()
+	return append(in, out[:]...)
 }
 
 // Sum256 returns the SHA-256 digest of data.
 func Sum256(data []byte) [Size]byte {
-	d := NewSHA256()
+	var d Digest
+	d.Reset()
 	d.Write(data)
-	var out [Size]byte
-	copy(out[:], d.Sum(nil))
-	return out
+	return d.SumFixed()
 }
 
-// HMAC computes HMAC-SHA256(key, msg) per RFC 2104.
-func HMAC(key, msg []byte) [Size]byte {
+// MAC is a reusable HMAC-SHA256 state: the key schedule (padded key
+// blocks) is computed once in Init, and Reset/Write/SumFixed run
+// allocation-free, so a verifier can hold a MAC by value and tag one
+// line per call on the hot path.
+type MAC struct {
+	opad [BlockSize]byte
+	// innerInit is the inner digest with the ipad block absorbed;
+	// Reset restores inner from it by value copy.
+	innerInit Digest
+	inner     Digest
+}
+
+// Init computes the key schedule. Call once per key; it may allocate.
+func (m *MAC) Init(key []byte) {
 	if len(key) > BlockSize {
 		sum := Sum256(key)
 		key = sum[:]
 	}
-	var ipad, opad [BlockSize]byte
+	var ipad [BlockSize]byte
 	copy(ipad[:], key)
-	copy(opad[:], key)
+	copy(m.opad[:], key)
 	for i := range ipad {
 		ipad[i] ^= 0x36
-		opad[i] ^= 0x5c
+		m.opad[i] ^= 0x5c
 	}
-	inner := NewSHA256()
-	inner.Write(ipad[:])
-	inner.Write(msg)
-	innerSum := inner.Sum(nil)
-	outer := NewSHA256()
-	outer.Write(opad[:])
-	outer.Write(innerSum)
-	var out [Size]byte
-	copy(out[:], outer.Sum(nil))
-	return out
+	m.innerInit.Reset()
+	m.innerInit.Write(ipad[:])
+	m.inner = m.innerInit
+}
+
+// Reset restarts the message, keeping the key schedule.
+//
+//repro:hotpath
+func (m *MAC) Reset() { m.inner = m.innerInit }
+
+// Write absorbs p into the current message.
+//
+//repro:hotpath
+func (m *MAC) Write(p []byte) { m.inner.Write(p) }
+
+// SumFixed returns HMAC(key, message-so-far) without allocating and
+// without disturbing the running state.
+//
+//repro:hotpath
+func (m *MAC) SumFixed() [Size]byte {
+	innerSum := m.inner.SumFixed()
+	var outer Digest
+	outer.Reset()
+	outer.Write(m.opad[:])
+	outer.Write(innerSum[:])
+	return outer.SumFixed()
+}
+
+// HMAC computes HMAC-SHA256(key, msg) per RFC 2104. One-shot form;
+// repeated callers should hold a MAC and Reset it per message.
+func HMAC(key, msg []byte) [Size]byte {
+	var m MAC
+	m.Init(key)
+	m.Write(msg)
+	return m.SumFixed()
 }
 
 // Equal compares two MACs in constant time (per-byte accumulate).

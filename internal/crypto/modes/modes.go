@@ -189,7 +189,7 @@ func (a *BlockCBC) iv(addr uint64, freshen bool) []byte {
 		salt = a.salt
 	case IVCounter:
 		if freshen {
-			a.counters[addr]++
+			a.counters[addr]++ //repro:allow sparse IV-freshness counters; steady-state bumps hit existing keys
 		}
 		salt = a.salt + a.counters[addr]
 	}

@@ -130,6 +130,8 @@ func (e *Engine) cipherBlocks(n int) int {
 }
 
 // EncryptLine implements edu.Engine.
+//
+//repro:hotpath
 func (e *Engine) EncryptLine(addr uint64, dst, src []byte) {
 	switch e.cfg.Mode {
 	case ECB:
@@ -142,6 +144,8 @@ func (e *Engine) EncryptLine(addr uint64, dst, src []byte) {
 }
 
 // DecryptLine implements edu.Engine.
+//
+//repro:hotpath
 func (e *Engine) DecryptLine(addr uint64, dst, src []byte) {
 	switch e.cfg.Mode {
 	case ECB:

@@ -162,11 +162,15 @@ func (e *Engine) Gates() int {
 }
 
 // EncryptLine implements edu.Engine.
+//
+//repro:hotpath
 func (e *Engine) EncryptLine(addr uint64, dst, src []byte) {
 	e.engineFor(addr).EncryptLine(addr, dst, src)
 }
 
 // DecryptLine implements edu.Engine.
+//
+//repro:hotpath
 func (e *Engine) DecryptLine(addr uint64, dst, src []byte) {
 	e.engineFor(addr).DecryptLine(addr, dst, src)
 }

@@ -131,11 +131,15 @@ func (g *GeneralInstrument) BlockBytes() int { return des.BlockSize }
 func (g *GeneralInstrument) Gates() int { return GIGates }
 
 // EncryptLine implements edu.Engine.
+//
+//repro:hotpath
 func (g *GeneralInstrument) EncryptLine(addr uint64, dst, src []byte) {
 	g.cbc.EncryptBlockAt(addr, dst, src)
 }
 
 // DecryptLine implements edu.Engine.
+//
+//repro:hotpath
 func (g *GeneralInstrument) DecryptLine(addr uint64, dst, src []byte) {
 	g.cbc.DecryptBlockAt(addr, dst, src)
 }
@@ -212,6 +216,8 @@ func (b *Best) BlockBytes() int { return bestcipher.BlockSize }
 func (b *Best) Gates() int { return BestGates }
 
 // EncryptLine implements edu.Engine.
+//
+//repro:hotpath
 func (b *Best) EncryptLine(addr uint64, dst, src []byte) {
 	for off := 0; off+bestcipher.BlockSize <= len(src); off += bestcipher.BlockSize {
 		b.c.EncryptAt(addr+uint64(off), dst[off:off+bestcipher.BlockSize], src[off:off+bestcipher.BlockSize])
@@ -219,6 +225,8 @@ func (b *Best) EncryptLine(addr uint64, dst, src []byte) {
 }
 
 // DecryptLine implements edu.Engine.
+//
+//repro:hotpath
 func (b *Best) DecryptLine(addr uint64, dst, src []byte) {
 	for off := 0; off+bestcipher.BlockSize <= len(src); off += bestcipher.BlockSize {
 		b.c.DecryptAt(addr+uint64(off), dst[off:off+bestcipher.BlockSize], src[off:off+bestcipher.BlockSize])
@@ -267,6 +275,8 @@ func (e *DS5002) BlockBytes() int { return 1 }
 func (e *DS5002) Gates() int { return DS5002Gates }
 
 // EncryptLine implements edu.Engine.
+//
+//repro:hotpath
 func (e *DS5002) EncryptLine(addr uint64, dst, src []byte) {
 	for i := range src {
 		dst[i] = e.d.EncryptByte(uint16(addr+uint64(i)), src[i])
@@ -274,6 +284,8 @@ func (e *DS5002) EncryptLine(addr uint64, dst, src []byte) {
 }
 
 // DecryptLine implements edu.Engine.
+//
+//repro:hotpath
 func (e *DS5002) DecryptLine(addr uint64, dst, src []byte) {
 	for i := range src {
 		dst[i] = e.d.DecryptByte(uint16(addr+uint64(i)), src[i])
@@ -329,6 +341,8 @@ func (e *DS5240) BlockBytes() int { return des.BlockSize }
 func (e *DS5240) Gates() int { return DS5240Gates }
 
 // EncryptLine implements edu.Engine.
+//
+//repro:hotpath
 func (e *DS5240) EncryptLine(addr uint64, dst, src []byte) {
 	for off := 0; off+des.BlockSize <= len(src); off += des.BlockSize {
 		e.d.EncryptBlockAt(addr+uint64(off), dst[off:off+des.BlockSize], src[off:off+des.BlockSize])
@@ -336,6 +350,8 @@ func (e *DS5240) EncryptLine(addr uint64, dst, src []byte) {
 }
 
 // DecryptLine implements edu.Engine.
+//
+//repro:hotpath
 func (e *DS5240) DecryptLine(addr uint64, dst, src []byte) {
 	for off := 0; off+des.BlockSize <= len(src); off += des.BlockSize {
 		e.d.DecryptBlockAt(addr+uint64(off), dst[off:off+des.BlockSize], src[off:off+des.BlockSize])
@@ -425,9 +441,13 @@ func (v *VLSI) Gates() int { return VLSIGates }
 func (v *VLSI) PageSize() int { return 1 << v.pageBits }
 
 // EncryptLine implements edu.Engine.
+//
+//repro:hotpath
 func (v *VLSI) EncryptLine(_ uint64, dst, src []byte) { v.c.Encrypt(dst, src) }
 
 // DecryptLine implements edu.Engine.
+//
+//repro:hotpath
 func (v *VLSI) DecryptLine(_ uint64, dst, src []byte) { v.c.Decrypt(dst, src) }
 
 // PerAccessCycles implements edu.Engine.

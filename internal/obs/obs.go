@@ -26,6 +26,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//repro:hotpath
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -33,6 +35,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n.
+//
+//repro:hotpath
 func (c *Counter) Add(n uint64) {
 	if c != nil {
 		c.v.Add(n)
@@ -54,6 +58,8 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//repro:hotpath
 func (g *Gauge) Set(v int64) {
 	if g != nil {
 		g.v.Store(v)
@@ -61,6 +67,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add moves the gauge by d (negative to decrement).
+//
+//repro:hotpath
 func (g *Gauge) Add(d int64) {
 	if g != nil {
 		g.v.Add(d)
@@ -91,6 +99,8 @@ type Histogram struct {
 }
 
 // Observe records v.
+//
+//repro:hotpath
 func (h *Histogram) Observe(v uint64) {
 	if h == nil {
 		return

@@ -283,6 +283,8 @@ func (t *Tree) walkUpdate(leaf uint64) uint64 {
 // spoofing and splicing (content and address binding), and the external
 // store against the root-anchored value catches replay of a stale
 // (line, tag) pair.
+//
+//repro:hotpath
 func (t *Tree) VerifyRead(addr uint64, ct []byte) (uint64, bool) {
 	leaf, protected := t.leafIndex(addr)
 	if !protected {
@@ -296,7 +298,9 @@ func (t *Tree) VerifyRead(addr uint64, ct []byte) (uint64, bool) {
 	if !enrolled {
 		// First sight of a never-written line: enroll it, as boot
 		// firmware initializing protected memory would.
+		//repro:allow enrollment inserts once per line; steady-state reads never reach here
 		t.ext[addr] = want
+		//repro:allow enrollment inserts once per line; steady-state reads never reach here
 		t.trusted[addr] = want
 		t.Verified++
 		t.m.Verified.Inc()
@@ -315,6 +319,8 @@ func (t *Tree) VerifyRead(addr uint64, ct []byte) (uint64, bool) {
 
 // UpdateWrite implements edu.Verifier: retag the line (bumping its
 // counter under CounterTree) and propagate up the cached path.
+//
+//repro:hotpath
 func (t *Tree) UpdateWrite(addr uint64, ct []byte) uint64 {
 	leaf, protected := t.leafIndex(addr)
 	if !protected {
@@ -322,11 +328,13 @@ func (t *Tree) UpdateWrite(addr uint64, ct []byte) uint64 {
 		return 0
 	}
 	if t.ver != nil {
-		t.ver[addr]++
+		t.ver[addr]++ //repro:allow sparse counter table; steady-state bumps hit existing keys
 	}
 	tag := t.key.TagLine(addr, t.version(addr), ct)
 	t.m.TagComputations.Inc()
+	//repro:allow sparse external tag store; steady-state writes hit existing keys
 	t.ext[addr] = tag
+	//repro:allow sparse external tag store; steady-state writes hit existing keys
 	t.trusted[addr] = tag
 	return uint64(t.cfg.TagCycles) + t.walkUpdate(leaf)
 }

@@ -87,6 +87,8 @@ func (f *Flat) version(addr uint64) uint64 {
 // VerifyRead implements edu.Verifier: recompute the tag and compare
 // against the external store. With no root anchor, a consistent stale
 // pair passes — flat-mac accepts replay by construction.
+//
+//repro:hotpath
 func (f *Flat) VerifyRead(addr uint64, ct []byte) (uint64, bool) {
 	stall := uint64(f.cfg.TagCycles)
 	if f.ver != nil {
@@ -95,7 +97,7 @@ func (f *Flat) VerifyRead(addr uint64, ct []byte) (uint64, bool) {
 	want := f.key.TagLine(addr, f.version(addr), ct)
 	stored, enrolled := f.ext[addr]
 	if !enrolled {
-		f.ext[addr] = want
+		f.ext[addr] = want //repro:allow enrollment inserts once per line; steady-state reads never reach here
 		f.Verified++
 		return stall, true
 	}
@@ -108,12 +110,15 @@ func (f *Flat) VerifyRead(addr uint64, ct []byte) (uint64, bool) {
 }
 
 // UpdateWrite implements edu.Verifier.
+//
+//repro:hotpath
 func (f *Flat) UpdateWrite(addr uint64, ct []byte) uint64 {
 	stall := uint64(f.cfg.TagCycles)
 	if f.ver != nil {
-		f.ver[addr]++
+		f.ver[addr]++ //repro:allow sparse counter table; steady-state bumps hit existing keys
 		stall++
 	}
+	//repro:allow sparse external tag store; steady-state writes hit existing keys
 	f.ext[addr] = f.key.TagLine(addr, f.version(addr), ct)
 	return stall
 }

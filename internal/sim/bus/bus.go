@@ -110,6 +110,7 @@ func (b *Bus) Transfer(dir Direction, addr uint64, data []byte) uint64 {
 	if len(b.probes) > 0 {
 		// Copy so probes can retain the beat without aliasing engine
 		// buffers that will be reused.
+		//repro:allow probe retention copy; probes attach only in attack experiments, never in timing runs
 		cp := append([]byte{}, data...)
 		beat := Beat{Dir: dir, Addr: addr, Data: cp, Cycle: b.cycle}
 		for _, p := range b.probes {

@@ -157,6 +157,8 @@ type Result struct {
 // Access performs one reference. isStore marks data writes. It returns
 // the external traffic generated, which the SoC model converts to bus
 // and engine activity.
+//
+//repro:hotpath
 func (c *Cache) Access(addr uint64, isStore bool) Result {
 	set, tag := c.index(addr)
 	ways := c.sets[set]
@@ -254,6 +256,8 @@ func (c *Cache) victimWay(set uint64) (way int, wbAddr uint64, writeback bool) {
 // before the slot's side storage is reused. Installs share the
 // hit/miss/eviction counters with demand accesses: this level's Stats
 // describe all traffic arriving at it, not only CPU-side demand.
+//
+//repro:hotpath
 func (c *Cache) Install(addr uint64) (slot int, victim DirtyLine, hasVictim bool) {
 	set, tag := c.index(addr)
 	ways := c.sets[set]

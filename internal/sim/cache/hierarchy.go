@@ -97,6 +97,8 @@ func (h *Hierarchy) Level(i int) *Cache { return h.levels[i] }
 // Access performs one CPU reference against level 0, falling through on
 // misses, and returns the transfers it caused. The event slice is owned
 // by the hierarchy and valid until the next Access or Flush.
+//
+//repro:hotpath
 func (h *Hierarchy) Access(addr uint64, isStore bool) (AccessResult, []Event) {
 	h.events = h.events[:0]
 	res := h.levels[0].Access(addr, isStore)

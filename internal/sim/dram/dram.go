@@ -79,8 +79,8 @@ func (d *DRAM) page(addr uint64) []byte {
 	base := addr &^ (pageSize - 1)
 	p, ok := d.store[base]
 	if !ok {
-		p = make([]byte, pageSize)
-		d.store[base] = p
+		p = make([]byte, pageSize) //repro:allow demand paging; each page allocates once, steady state hits existing pages
+		d.store[base] = p          //repro:allow demand paging; each page inserts once, steady state hits existing pages
 	}
 	return p
 }

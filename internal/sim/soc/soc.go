@@ -705,6 +705,8 @@ func (s *SoC) updateOutbound(lineAddr uint64, rep *Report) uint64 {
 // source is rewound first (Run measures whole workloads), and the hot
 // loop performs zero heap allocations per reference — trace length is
 // bounded by time, not memory.
+//
+//repro:hotpath
 func (s *SoC) Run(src trace.RefSource) Report {
 	src.Reset()
 	rep := Report{EngineName: s.engine.Name(), Workload: src.Label()}

@@ -5,6 +5,8 @@
 // reference-for-reference identical for the same Config. The
 // materialized constructors in trace.go are thin Drain wrappers over
 // these — the stream is the canonical implementation.
+//
+//repro:deterministic
 package trace
 
 import "math/rand"

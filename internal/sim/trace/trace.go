@@ -4,6 +4,8 @@
 // substitution: parametric generators whose knobs — jump rate, write
 // fraction, locality — are swept across the regimes those papers
 // measured).
+//
+//repro:deterministic
 package trace
 
 import (
