@@ -18,6 +18,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/rec"
 	"repro/internal/sim/soc"
 	"repro/internal/sim/trace"
 )
@@ -110,9 +111,12 @@ func reportPerRef(b *testing.B, refsPerOp int) {
 // references, so ns/op is nanoseconds per reference and allocs/op is
 // allocations per reference — the number the allocation-free hot path
 // pins at 0 (see soc.TestHotLoopZeroAllocs for the hard assertion).
-// withMetrics additionally installs a live obs registry, so the bench
-// log also proves the 0 allocs/op contract holds under instrumentation.
-func hotLoopBench(b *testing.B, engineKey string, withMetrics bool) {
+// A warm run outside the timer pre-faults DRAM pages and metric cells,
+// so the report stays 0 allocs/op even at -benchtime 1x (the CI alloc
+// smokes run exactly one iteration). withMetrics additionally installs
+// a live obs registry, so the bench log also proves the 0 allocs/op
+// contract holds under instrumentation.
+func hotLoopBench(b *testing.B, engineKey string, withMetrics, withTrace bool) {
 	b.Helper()
 	cfg := soc.DefaultConfig()
 	if engineKey != "" {
@@ -125,14 +129,21 @@ func hotLoopBench(b *testing.B, engineKey string, withMetrics bool) {
 	if withMetrics {
 		cfg.Metrics = soc.NewMetrics(obs.NewRegistry())
 	}
+	if withTrace {
+		cfg.Recorder = rec.New(1 << 16)
+	}
 	s, err := soc.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
-	src := trace.SequentialSource(trace.Config{
-		Refs: b.N, Seed: 1,
-		LoadFraction: 0.35, WriteFraction: 0.3, JumpRate: 0.03, Locality: 0.7,
-	})
+	mkSrc := func(refs int) trace.RefSource {
+		return trace.SequentialSource(trace.Config{
+			Refs: refs, Seed: 1,
+			LoadFraction: 0.35, WriteFraction: 0.3, JumpRate: 0.03, Locality: 0.7,
+		})
+	}
+	s.Run(mkSrc(20000)) // warm DRAM pages, metric cells, recorder ring
+	src := mkSrc(b.N)
 	b.SetBytes(int64(cfg.Bus.WidthBytes)) // architectural bytes per reference
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -141,9 +152,15 @@ func hotLoopBench(b *testing.B, engineKey string, withMetrics bool) {
 	reportPerRef(b, 1)
 }
 
-func BenchmarkHotLoopPlaintext(b *testing.B)    { hotLoopBench(b, "", false) }
-func BenchmarkHotLoopAegis(b *testing.B)        { hotLoopBench(b, "aegis", false) }
-func BenchmarkHotLoopInstrumented(b *testing.B) { hotLoopBench(b, "aegis", true) }
+func BenchmarkHotLoopPlaintext(b *testing.B)    { hotLoopBench(b, "", false, false) }
+func BenchmarkHotLoopAegis(b *testing.B)        { hotLoopBench(b, "aegis", false, false) }
+func BenchmarkHotLoopInstrumented(b *testing.B) { hotLoopBench(b, "aegis", true, false) }
+
+// BenchmarkHotLoopTraced is the flight-recorder pin: full metrics
+// instrumentation plus a live recorder ring, still 0 allocs/op — the
+// CI smoke greps for it (the hard per-path assertion lives in
+// soc.TestHotLoopZeroAllocsTraced).
+func BenchmarkHotLoopTraced(b *testing.B) { hotLoopBench(b, "aegis", true, true) }
 
 // BenchmarkHotLoopL2 drives b.N references through a two-level system
 // (64 KiB L2, AEGIS engine at the outer boundary, counter-tree

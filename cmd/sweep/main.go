@@ -17,8 +17,10 @@
 //	sweep -suite -jobs 4            # run the E1-E22 suite instead
 //	sweep -jobs 8 -progress         # live refs/sec + ETA on stderr
 //	sweep -progress-json 2>prog.ndjson                # machine-readable progress
-//	sweep -pprof localhost:6060     # net/http/pprof + /metrics JSON snapshot
+//	sweep -pprof localhost:6060     # net/http/pprof + /metrics + /trace snapshots
 //	sweep -format json -o results.json                # write results to a file
+//	sweep -trace out.json           # flight-recorder trace (open in Perfetto)
+//	sweep -trace out.csv -trace-cap 1M                # CSV export, bigger rings
 //
 // Output is deterministic: a -jobs 8 run emits bytes identical to a
 // -jobs 1 run (per-task RNG sharding; see internal/campaign), with or
@@ -46,6 +48,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/edu"
 	"repro/internal/obs"
+	"repro/internal/obs/rec"
 )
 
 func main() {
@@ -68,8 +71,10 @@ func main() {
 	progress := flag.Bool("progress", false, "stream live progress lines (refs/sec, ETA) to stderr; stdout is untouched")
 	progressJSON := flag.Bool("progress-json", false, "emit -progress lines as JSON objects")
 	progressInterval := flag.Duration("progress-interval", time.Second, "period between -progress lines")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and a /metrics JSON snapshot on this address (e.g. localhost:6060)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics + /trace JSON snapshots on this address (e.g. localhost:6060)")
 	outPath := flag.String("o", "", "write results to this file instead of stdout")
+	tracePath := flag.String("trace", "", "record a flight-recorder trace and write it here (.csv = CSV, else Chrome trace_event JSON for Perfetto)")
+	traceCap := flag.String("trace-cap", "", fmt.Sprintf("per-task trace ring capacity in events, K/M suffixes ok (default: %d)", campaign.DefaultTraceCap))
 	flag.Parse()
 
 	if *suite {
@@ -85,8 +90,8 @@ func main() {
 		if *format != "table" {
 			fatal(fmt.Errorf("-suite emits experiment tables only; -format %s is not supported", *format))
 		}
-		if *progress || *progressJSON || *pprofAddr != "" || *outPath != "" {
-			fatal(fmt.Errorf("-suite does not support -progress/-progress-json/-pprof/-o; run a grid sweep for live observability"))
+		if *progress || *progressJSON || *pprofAddr != "" || *outPath != "" || *tracePath != "" || *traceCap != "" {
+			fatal(fmt.Errorf("-suite does not support -progress/-progress-json/-pprof/-o/-trace/-trace-cap; run a grid sweep for live observability"))
 		}
 		start := time.Now()
 		tables, err := campaign.RunSuite(campaign.ParseList(*experiments), *suiteRefs, *jobs)
@@ -145,8 +150,23 @@ func main() {
 		reg = obs.NewRegistry()
 		runner.Observe(campaign.NewMetrics(reg))
 	}
+	// -trace-cap is validated even when no tracer is armed, matching
+	// the other flags: a malformed value always exits before the run.
+	ringCap := 0
+	if *traceCap != "" {
+		caps, err := campaign.ParseIntList(*traceCap)
+		if err != nil || len(caps) != 1 || caps[0] <= 0 {
+			fatal(fmt.Errorf("-trace-cap wants one positive event count, got %q", *traceCap))
+		}
+		ringCap = caps[0]
+	}
+	var tracer *campaign.Tracer
+	if *tracePath != "" || *pprofAddr != "" {
+		tracer = &campaign.Tracer{Cap: ringCap}
+		runner.Trace(tracer)
+	}
 	if *pprofAddr != "" {
-		serveDebug(*pprofAddr, reg)
+		serveDebug(*pprofAddr, reg, tracer)
 	}
 	var prog *obs.Progress
 	if *progress || *progressJSON {
@@ -183,6 +203,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, campaign.TraceOf(rep)); err != nil {
+			fatal(err)
+		}
+	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "sweep: %d points, jobs=%d, baselines simulated=%d cached-hits=%d, %s\n",
 			len(rep.Results), *jobs, runner.BaselineRuns(), runner.BaselineHits(),
@@ -206,11 +231,31 @@ func sampleCampaign(reg *obs.Registry) obs.ProgressSample {
 	}
 }
 
+// writeTrace dumps the canonical merged flight-recorder trace: CSV when
+// the path says so, otherwise Chrome trace_event JSON Perfetto can load
+// directly.
+func writeTrace(path string, tr *rec.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = rec.WriteCSV(f, tr)
+	} else {
+		err = rec.WriteChrome(f, tr)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // serveDebug starts the diagnostics endpoint: net/http/pprof under
-// /debug/pprof/ plus the registry's JSON snapshot at /metrics. The
-// listener binds before the sweep starts (a bad address should fail
-// fast), then serves for the life of the process.
-func serveDebug(addr string, reg *obs.Registry) {
+// /debug/pprof/, the registry's JSON snapshot at /metrics, and the
+// live flight-recorder snapshot at /trace. The listener binds before
+// the sweep starts (a bad address should fail fast), then serves for
+// the life of the process.
+func serveDebug(addr string, reg *obs.Registry, tracer *campaign.Tracer) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(err)
@@ -222,7 +267,8 @@ func serveDebug(addr string, reg *obs.Registry) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/metrics", reg.Handler())
-	fmt.Fprintf(os.Stderr, "sweep: pprof+metrics on http://%s\n", ln.Addr())
+	mux.Handle("/trace", tracer.Handler())
+	fmt.Fprintf(os.Stderr, "sweep: pprof+metrics+trace on http://%s\n", ln.Addr())
 	go func() {
 		if err := http.Serve(ln, mux); err != nil {
 			fmt.Fprintln(os.Stderr, "sweep: debug server:", err)

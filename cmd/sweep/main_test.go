@@ -12,6 +12,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs/rec"
 )
 
 // sweepBin is the compiled CLI under test, built once in TestMain so
@@ -86,6 +88,8 @@ func TestSuiteRejectsObservabilityFlags(t *testing.T) {
 		{"-suite", "-progress"},
 		{"-suite", "-pprof", "localhost:0"},
 		{"-suite", "-o", "x.json"},
+		{"-suite", "-trace", "x.json"},
+		{"-suite", "-trace-cap", "64K"},
 	} {
 		_, stderr, code := run(t, args...)
 		if code == 0 {
@@ -179,8 +183,8 @@ func TestPprofMetricsEndpoint(t *testing.T) {
 	sc := bufio.NewScanner(stderr)
 	var addr string
 	for sc.Scan() {
-		if _, ok := strings.CutPrefix(sc.Text(), "sweep: pprof+metrics on "); ok {
-			addr, _ = strings.CutPrefix(sc.Text(), "sweep: pprof+metrics on ")
+		if _, ok := strings.CutPrefix(sc.Text(), "sweep: pprof+metrics+trace on "); ok {
+			addr, _ = strings.CutPrefix(sc.Text(), "sweep: pprof+metrics+trace on ")
 			break
 		}
 	}
@@ -219,5 +223,103 @@ func TestPprofMetricsEndpoint(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusOK {
 		t.Errorf("pprof cmdline status %d", resp2.StatusCode)
+	}
+
+	// The live flight-recorder snapshot serves beside /metrics: whatever
+	// has completed so far must decode as a valid Chrome trace.
+	resp3, err := client.Get(addr + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	snapTrace, err := rec.DecodeChrome(resp3.Body)
+	if err != nil {
+		t.Fatalf("/trace does not decode: %v", err)
+	}
+	if err := rec.Validate(snapTrace); err != nil {
+		t.Errorf("/trace snapshot invalid: %v", err)
+	}
+}
+
+// -trace output is part of the determinism contract: the canonical
+// merged trace of a -jobs 8 sweep is byte-identical to -jobs 1, it
+// round-trips through the decoder, and the CSV variant picks its format
+// from the suffix.
+func TestTraceOutputDeterministicAndDecodable(t *testing.T) {
+	dir := t.TempDir()
+	grid := []string{
+		"-engines", "aegis", "-workloads", "sequential", "-refs", "3000",
+		"-authtree", "none,tree", "-attack", "16", "-format", "json", "-q",
+	}
+	traced := func(name string, jobs int) []byte {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		stdout, stderr, code := run(t, append([]string{"-jobs", fmt.Sprint(jobs), "-trace", path}, grid...)...)
+		if code != 0 {
+			t.Fatalf("jobs=%d exited %d: %s", jobs, code, stderr)
+		}
+		if stdout == "" {
+			t.Fatalf("jobs=%d: no results on stdout", jobs)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	j1 := traced("j1.json", 1)
+	j8 := traced("j8.json", 8)
+	if !bytes.Equal(j1, j8) {
+		t.Error("-trace output differs between -jobs 1 and -jobs 8")
+	}
+	if !json.Valid(j1) {
+		t.Fatal("-trace output is not valid JSON")
+	}
+	tr, err := rec.DecodeChrome(bytes.NewReader(j1))
+	if err != nil {
+		t.Fatalf("trace does not decode: %v", err)
+	}
+	if err := rec.Validate(tr); err != nil {
+		t.Errorf("trace invalid: %v", err)
+	}
+	if len(tr.Streams) != 2 {
+		t.Errorf("trace has %d streams, want one per task (2)", len(tr.Streams))
+	}
+
+	csvPath := filepath.Join(dir, "out.csv")
+	_, stderr, code := run(t, append([]string{"-trace", csvPath, "-trace-cap", "1K"}, grid...)...)
+	if code != 0 {
+		t.Fatalf("csv trace run exited %d: %s", code, stderr)
+	}
+	csvData, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(csvData, []byte("track,seq,kind,cycle,ref,addr,level,flags,arg\n")) {
+		t.Errorf("csv trace missing header: %.80q", csvData)
+	}
+}
+
+func TestBadTraceCapExitsNonzero(t *testing.T) {
+	for _, bad := range []string{"0", "-5", "4,8", "nope"} {
+		stdout, stderr, code := run(t,
+			"-engines", "aegis", "-workloads", "sequential", "-refs", "1000",
+			"-trace", filepath.Join(t.TempDir(), "t.json"), "-trace-cap", bad)
+		if code == 0 {
+			t.Errorf("-trace-cap %q exited 0", bad)
+		}
+		if stdout != "" {
+			t.Errorf("-trace-cap %q wrote stdout: %q", bad, stdout)
+		}
+		if !strings.Contains(stderr, "-trace-cap") {
+			t.Errorf("-trace-cap %q stderr: %q", bad, stderr)
+		}
+		// A malformed value is rejected even with no tracer armed.
+		_, stderr, code = run(t,
+			"-engines", "aegis", "-workloads", "sequential", "-refs", "1000",
+			"-trace-cap", bad)
+		if code == 0 || !strings.Contains(stderr, "-trace-cap") {
+			t.Errorf("-trace-cap %q without -trace: code=%d stderr=%q", bad, code, stderr)
+		}
 	}
 }

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var tracelabBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "tracelab-test")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	tracelabBin = filepath.Join(dir, "tracelab")
+	out, err := exec.Command("go", "build", "-o", tracelabBin, ".").CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building tracelab: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+func run(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(tracelabBin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running tracelab: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// The core claim: forensics over the event stream reproduce the attack
+// schedule's accounting exactly, and the binary says so and exits 0.
+func TestForensicsCrossCheck(t *testing.T) {
+	stdout, stderr, code := run(t, "-refs", "20000")
+	if code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"inject@", "touch@", "verify@", "trap@", "latency",
+		"cross-check: event-stream accounting matches attack.Schedule exactly",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+	if !strings.Contains(stdout, "strikes injected") {
+		t.Errorf("no strike summary:\n%s", stdout)
+	}
+}
+
+// A confidentiality-only system detects nothing; the chains must show
+// tampered lines crossing the bus unverified, and the cross-check must
+// still hold (zero detections on both sides).
+func TestUnauthenticatedSystemDetectsNothing(t *testing.T) {
+	stdout, stderr, code := run(t, "-authtree", "none", "-refs", "12000")
+	if code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "undetected") {
+		t.Errorf("auth=none shows no undetected strikes:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "MISMATCH") {
+		t.Errorf("cross-check failed:\n%s", stdout)
+	}
+}
+
+// -o round-trips through -check: the dump is a valid decodable trace.
+func TestDumpAndCheck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cell.json")
+	_, stderr, code := run(t, "-refs", "12000", "-o", path)
+	if code != 0 {
+		t.Fatalf("record run exited %d: %s", code, stderr)
+	}
+	stdout, stderr, code := run(t, "-check", path)
+	if code != 0 {
+		t.Fatalf("-check exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "valid, 1 streams") {
+		t.Errorf("-check output: %q", stdout)
+	}
+	if !strings.Contains(stdout, "strike=") || !strings.Contains(stdout, "trap=") {
+		t.Errorf("-check inventory missing attack kinds: %q", stdout)
+	}
+}
+
+func TestCheckRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte(`{"traceEvents":[{"ph":"B"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code := run(t, "-check", path)
+	if code == 0 {
+		t.Errorf("garbage trace accepted: %q", stdout)
+	}
+	if !strings.Contains(stderr, "tracelab:") {
+		t.Errorf("stderr: %q", stderr)
+	}
+}
+
+func TestRejectsZeroAttackRate(t *testing.T) {
+	stdout, stderr, code := run(t, "-attack", "0")
+	if code == 0 {
+		t.Error("-attack 0 exited 0")
+	}
+	if stdout != "" {
+		t.Errorf("error run wrote stdout: %q", stdout)
+	}
+	if !strings.Contains(stderr, "adversary") {
+		t.Errorf("stderr: %q", stderr)
+	}
+}

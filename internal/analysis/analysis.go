@@ -43,7 +43,7 @@ type Analyzer struct {
 }
 
 // All is the full reprolint suite in reporting order.
-var All = []*Analyzer{HotPathAlloc, Determinism, MetricsDiscipline}
+var All = []*Analyzer{HotPathAlloc, Determinism, MetricsDiscipline, RecDiscipline}
 
 // Result is the outcome of an Analyze call: surviving diagnostics
 // (position-sorted), the allowances that were exercised, and marker

@@ -148,6 +148,10 @@ func TestDeterminismFixture(t *testing.T) {
 	runFixture(t, "determfix", Determinism)
 }
 
+func TestRecDisciplineFixture(t *testing.T) {
+	runFixture(t, "recfix", RecDiscipline)
+}
+
 func TestMetricsDisciplineFixture(t *testing.T) {
 	runFixture(t, "metricsfix", MetricsDiscipline)
 }

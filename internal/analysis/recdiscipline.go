@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// RecDiscipline enforces the flight-recorder rule from DESIGN.md §10:
+// hot-path code touches the recorder only through the two writer-side
+// entry points, (*rec.Recorder).Emit and (*rec.Recorder).Stamp — one
+// fixed-size store into a pre-allocated ring, nil-safe, 0 allocs.
+// Everything else in the rec package is setup (New) or reader side
+// (Seal, Reset, the exporters, the decoder): those walk, copy or
+// allocate, and reaching them from a //repro:hotpath root is a
+// contract violation even when hotpathalloc can't prove an allocation
+// on the specific path.
+var RecDiscipline = &Analyzer{
+	Name: "recdiscipline",
+	Doc:  "flags flight-recorder setup/reader-side calls reachable from //repro:hotpath roots",
+	Run:  runRecDiscipline,
+}
+
+func runRecDiscipline(prog *Program) []Diagnostic {
+	recPath := prog.ModPath + "/internal/obs/rec"
+	var diags []Diagnostic
+	for _, r := range prog.reachableFrom(prog.markers.roots(true)) {
+		diags = append(diags, checkRec(prog, r, recPath)...)
+	}
+	return diags
+}
+
+func checkRec(prog *Program, r reached, recPath string) []Diagnostic {
+	var diags []Diagnostic
+	fi, pkg := r.fn, r.fn.Pkg
+	via := viaClause(r)
+	report := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:      prog.Fset.Position(pos),
+			Analyzer: "recdiscipline",
+			Message:  msg + via,
+		})
+	}
+
+	inspectStack(fi.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		node, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(pkg, node)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != recPath {
+			return true
+		}
+		if recv := receiverTypeName(callee); recv == "Recorder" {
+			switch callee.Name() {
+			case "Emit", "Stamp":
+				return true // the writer-side contract
+			}
+			report(node.Pos(), "rec.Recorder."+callee.Name()+" on the hot path: only Emit and Stamp are writer-side; seal and read after the run")
+			return true
+		}
+		report(node.Pos(), "rec."+callee.Name()+" on the hot path: recorder setup and export are off-path; rings are built before the run")
+		return true
+	})
+	return diags
+}

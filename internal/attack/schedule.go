@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"slices"
 
+	"repro/internal/obs/rec"
 	"repro/internal/sim/soc"
 	"repro/internal/sim/trace"
 )
@@ -101,6 +102,12 @@ type Schedule struct {
 	latencySum     uint64
 	// MaxLatency is the worst observed detection latency in references.
 	MaxLatency uint64
+
+	// rc is the flight recorder (nil = no-op): inject emits one
+	// KindStrike event per tamper that actually mutated external state,
+	// mirroring Injected exactly, which is what lets cmd/tracelab
+	// rebuild the per-strike latency accounting from the stream alone.
+	rc *rec.Recorder
 }
 
 // pendingTamper records one injected, not-yet-detected tamper.
@@ -254,6 +261,15 @@ func (sc *Schedule) pickTarget(s *soc.SoC, curLine uint64) (uint64, bool) {
 	return 0, false
 }
 
+// SetRecorder installs the flight recorder (nil to disable). The SoC
+// stamps the recorder before every Strike call, so injection events
+// carry the right reference index without the schedule owning a clock.
+func (sc *Schedule) SetRecorder(r *rec.Recorder) {
+	if sc != nil {
+		sc.rc = r
+	}
+}
+
 func (sc *Schedule) inject(addr, refIndex uint64, kind TamperKind) {
 	if _, tampered := sc.pending[addr]; tampered {
 		// A second tamper of a still-undetected line is not a new
@@ -263,6 +279,7 @@ func (sc *Schedule) inject(addr, refIndex uint64, kind TamperKind) {
 	sc.Injected++
 	sc.ByKind[kind]++
 	sc.pending[addr] = pendingTamper{ref: refIndex, kind: kind}
+	sc.rc.Emit(rec.KindStrike, addr, 0, 0, uint64(kind))
 }
 
 // OnViolation matches soc.Config.OnViolation: credit a detected strike

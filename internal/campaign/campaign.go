@@ -7,6 +7,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/edu"
+	"repro/internal/obs/rec"
 	"repro/internal/sim/authtree"
 	"repro/internal/sim/soc"
 	"repro/internal/sim/trace"
@@ -45,6 +46,11 @@ type Result struct {
 	DetectionRate     float64 `json:"detection_rate,omitempty"`
 	MeanDetectLatency float64 `json:"mean_detect_latency,omitempty"`
 	Err               string  `json:"err,omitempty"`
+	// Trace is the task's sealed flight-recorder stream when the runner
+	// had a Tracer installed (nil otherwise). Excluded from the JSON
+	// report — report bytes must not depend on whether tracing was on;
+	// TraceOf serializes it separately.
+	Trace *rec.Stream `json:"-"`
 }
 
 // Report is a finished campaign: results in expansion order plus the
@@ -65,6 +71,9 @@ type Runner struct {
 	// m is the optional live metrics bundle (Observe); nil publishes
 	// nowhere and costs nothing on the simulation path.
 	m *Metrics
+	// tr is the optional flight-recorder hub (Trace); nil records
+	// nothing — the simulator sees a nil recorder, a no-op sink.
+	tr *Tracer
 }
 
 // NewRunner validates the spec and prepares an empty-cache runner.
@@ -145,10 +154,36 @@ func socConfig(cfg TaskConfig) (soc.Config, error) {
 	return sc, nil
 }
 
-// runTask measures one grid point: generate the point's trace from its
-// hash-derived seed, fetch (or compute once) the shared plaintext
-// baseline, then simulate the engine system on an identical trace.
+// runTask measures one grid point, bracketing the simulation with
+// lifecycle records when a Tracer is installed. The baseline simulation
+// is never recorded live (its owning task is scheduling-dependent);
+// the memoized base cycle count is synthesized into a KindBaseline
+// record instead, keeping every stream a pure function of its task.
 func (r *Runner) runTask(cfg TaskConfig) Result {
+	if r.tr == nil {
+		return r.runTaskRec(cfg, nil)
+	}
+	rc := rec.New(r.tr.capacity())
+	rc.Emit(rec.KindTaskStart, 0, 0, 0, uint64(cfg.Refs))
+	res := r.runTaskRec(cfg, rc)
+	if res.Err == "" {
+		rc.Stamp(res.Cycles, uint64(cfg.Refs))
+		rc.Emit(rec.KindBaseline, 0, 0, 0, res.BaseCycles)
+		rc.Emit(rec.KindTaskEnd, 0, 0, 0, res.Cycles)
+	} else {
+		rc.Emit(rec.KindTaskEnd, 0, 0, rec.FlagFail, 0)
+	}
+	st := rc.Seal(cfg.Key())
+	res.Trace = &st
+	r.tr.add(st)
+	return res
+}
+
+// runTaskRec measures one grid point: generate the point's trace from
+// its hash-derived seed, fetch (or compute once) the shared plaintext
+// baseline, then simulate the engine system on an identical trace,
+// recording into rc (nil = untraced).
+func (r *Runner) runTaskRec(cfg TaskConfig, rc *rec.Recorder) Result {
 	res := Result{TaskConfig: cfg}
 	fail := func(err error) Result {
 		res.Err = err.Error()
@@ -202,11 +237,15 @@ func (r *Runner) runTask(cfg TaskConfig) Result {
 		return fail(err)
 	}
 	ecfg.Verifier = ver
+	ecfg.Recorder = rc
 	if r.m != nil {
 		ecfg.Metrics = r.m.SoC
 		if t, ok := ver.(*authtree.Tree); ok {
 			t.SetMetrics(r.m.Auth)
 		}
+	}
+	if t, ok := ver.(*authtree.Tree); ok {
+		t.SetRecorder(rc)
 	}
 	var sched *attack.Schedule
 	if cfg.AttackRate > 0 {
@@ -219,6 +258,7 @@ func (r *Runner) runTask(cfg TaskConfig) Result {
 			PerTenK:   cfg.AttackRate,
 			LineBytes: cfg.LineSize,
 		})
+		sched.SetRecorder(rc)
 		ecfg.Intruder = sched
 		ecfg.OnViolation = sched.OnViolation
 	}

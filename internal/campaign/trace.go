@@ -1,0 +1,124 @@
+// Campaign-level flight recording: per-task recorders, the canonical
+// merged trace, and the live snapshot hub the sweep CLI serves beside
+// /metrics.
+//
+// Determinism contract (DESIGN.md §10): each task's stream is a pure
+// function of its TaskConfig — the recorder is private to the task,
+// events are stamped with simulated cycles and reference indices
+// (never wall-clock), and the baseline simulation (whose owner is
+// scheduling-dependent) is represented by a synthesized KindBaseline
+// record rather than recorded live. TraceOf then orders streams by
+// task expansion index, so a -jobs 8 sweep serializes byte-identically
+// to -jobs 1.
+//
+//repro:deterministic
+package campaign
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/obs/rec"
+)
+
+// DefaultTraceCap is the per-task ring capacity (events) used when a
+// Tracer doesn't set one: 64k events ≈ 3 MiB per concurrent task.
+const DefaultTraceCap = rec.DefaultCap
+
+// Tracer installs flight recording on a Runner (Runner.Trace) and
+// collects each task's sealed stream as it completes. The collection
+// side is mutex-guarded — workers seal concurrently — but the recorded
+// content is per-task deterministic; only the live Snapshot order
+// depends on completion timing, which is why Snapshot sorts and
+// TraceOf (the canonical merge) reads from the Report instead.
+type Tracer struct {
+	// Cap is the per-task ring capacity in events (rounded up to a
+	// power of two); 0 means DefaultTraceCap.
+	Cap int
+
+	mu      sync.Mutex
+	streams []rec.Stream
+}
+
+func (tr *Tracer) capacity() int {
+	if tr.Cap > 0 {
+		return tr.Cap
+	}
+	return DefaultTraceCap
+}
+
+func (tr *Tracer) add(st rec.Stream) {
+	tr.mu.Lock()
+	tr.streams = append(tr.streams, st)
+	tr.mu.Unlock()
+}
+
+// Snapshot returns the streams of every task completed so far, sorted
+// by track label for a stable listing — the live view. For the
+// canonical jobs-independent merge of a finished campaign, use TraceOf.
+func (tr *Tracer) Snapshot() *rec.Trace {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := &rec.Trace{Streams: make([]rec.Stream, len(tr.streams))}
+	copy(out.Streams, tr.streams)
+	for i := 1; i < len(out.Streams); i++ {
+		for j := i; j > 0 && out.Streams[j].Track < out.Streams[j-1].Track; j-- {
+			out.Streams[j], out.Streams[j-1] = out.Streams[j-1], out.Streams[j]
+		}
+	}
+	return out
+}
+
+// Handler serves the live snapshot as Chrome trace_event JSON — the
+// /trace endpoint beside /metrics: curl it mid-sweep, load it in
+// Perfetto.
+func (tr *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := rec.WriteChrome(w, tr.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// Trace installs tr on the runner: every subsequent task records into
+// a private ring and carries its sealed stream in Result.Trace. nil
+// uninstalls. Like Observe, this is opt-in observability — the
+// simulation path is untouched when absent, and emitted result bytes
+// are identical either way.
+func (r *Runner) Trace(tr *Tracer) { r.tr = tr }
+
+// TraceOf assembles the canonical merged trace of a traced report:
+// streams ordered by task expansion index (the track label carries the
+// index and the task key), events already in sequence order within
+// each stream. A task served from the result memo carries the
+// computing task's identical stream plus one appended KindMemoHit
+// record naming it — memoization is scheduling-invisible, so the merge
+// stays a pure function of the report. Returns an empty trace for an
+// untraced report.
+func TraceOf(rep *Report) *rec.Trace {
+	tr := &rec.Trace{}
+	first := make(map[string]int)
+	for i := range rep.Results {
+		res := &rep.Results[i]
+		if res.Trace == nil {
+			continue
+		}
+		st := *res.Trace
+		if fi, dup := first[res.Key()]; dup {
+			memo := rec.Event{Kind: rec.KindMemoHit, Cycle: res.Cycles, Arg: uint64(fi)}
+			if n := len(st.Events); n > 0 {
+				memo.Seq = st.Events[n-1].Seq + 1
+			}
+			// Full-slice expression: the append must copy, never grow
+			// the computing task's backing array in place.
+			st.Events = append(st.Events[:len(st.Events):len(st.Events)], memo)
+		} else {
+			first[res.Key()] = i
+		}
+		st.Track = fmt.Sprintf("task%03d %s", i, res.Key())
+		tr.Streams = append(tr.Streams, st)
+	}
+	return tr
+}

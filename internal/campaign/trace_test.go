@@ -1,0 +1,215 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"sort"
+	"testing"
+
+	"repro/internal/obs/rec"
+)
+
+// tracedSpec exercises the full event taxonomy: a tree authenticator
+// under an active adversary produces verify/trap/node-walk/strike
+// events on top of the cache and EDU traffic.
+func tracedSpec() Spec {
+	return Spec{
+		Engines:     []string{"aegis"},
+		Workloads:   []string{"sequential"},
+		Refs:        []int{3000},
+		CacheSizes:  []int{4 << 10},
+		Auths:       []string{"none", "tree"},
+		AttackRates: []float64{16},
+	}
+}
+
+func tracedRun(t *testing.T, jobs int) (*Report, *Tracer) {
+	t.Helper()
+	r, err := NewRunner(tracedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Tracer{}
+	r.Trace(tr)
+	rep := r.Run(jobs)
+	for _, res := range rep.Results {
+		if res.Err != "" {
+			t.Fatalf("point %s failed: %s", res.Key(), res.Err)
+		}
+	}
+	return rep, tr
+}
+
+// TestTracedSweepDeterminism is the tracing half of the campaign
+// contract: the canonical merged trace of a -jobs 8 sweep serializes
+// byte-identically to -jobs 1, in both export formats.
+func TestTracedSweepDeterminism(t *testing.T) {
+	serialize := func(jobs int) (string, string) {
+		rep, _ := tracedRun(t, jobs)
+		tr := TraceOf(rep)
+		var cj, cc bytes.Buffer
+		if err := rec.WriteChrome(&cj, tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.WriteCSV(&cc, tr); err != nil {
+			t.Fatal(err)
+		}
+		return cj.String(), cc.String()
+	}
+	j1, c1 := serialize(1)
+	j8, c8 := serialize(8)
+	if j1 != j8 {
+		t.Errorf("Chrome trace differs between jobs=1 and jobs=8 (%d vs %d bytes)", len(j1), len(j8))
+	}
+	if c1 != c8 {
+		t.Errorf("CSV trace differs between jobs=1 and jobs=8")
+	}
+}
+
+// TestTraceContent checks each task's stream is bracketed by lifecycle
+// records and that the protected-under-attack cell carries the whole
+// taxonomy: transfers, EDU work, verification, node walks, strikes and
+// traps.
+func TestTraceContent(t *testing.T) {
+	rep, _ := tracedRun(t, 1)
+	tr := TraceOf(rep)
+	if err := rec.Validate(tr); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	if len(tr.Streams) != len(rep.Results) {
+		t.Fatalf("got %d streams for %d results", len(tr.Streams), len(rep.Results))
+	}
+	for i, res := range rep.Results {
+		st := tr.Streams[i]
+		evs := st.Events
+		if len(evs) < 3 {
+			t.Fatalf("stream %q: only %d events", st.Track, len(evs))
+		}
+		if evs[0].Kind != rec.KindTaskStart || evs[0].Arg != uint64(res.Refs) {
+			t.Errorf("stream %q: first event %v, want task-start(refs)", st.Track, evs[0])
+		}
+		last, pen := evs[len(evs)-1], evs[len(evs)-2]
+		if last.Kind != rec.KindTaskEnd || last.Arg != res.Cycles || last.Cycle != res.Cycles {
+			t.Errorf("stream %q: last event %+v, want task-end with cycles=%d", st.Track, last, res.Cycles)
+		}
+		if pen.Kind != rec.KindBaseline || pen.Arg != res.BaseCycles {
+			t.Errorf("stream %q: penultimate event %+v, want baseline with base=%d", st.Track, pen, res.BaseCycles)
+		}
+		counts := make(map[rec.Kind]int)
+		for _, ev := range evs {
+			counts[ev.Kind]++
+		}
+		for _, k := range []rec.Kind{rec.KindFill, rec.KindWriteback, rec.KindDecipher, rec.KindEncipher} {
+			if counts[k] == 0 {
+				t.Errorf("stream %q: no %s events", st.Track, k)
+			}
+		}
+		if uint64(counts[rec.KindStrike]) != res.Injected {
+			t.Errorf("stream %q: %d strike events, schedule injected %d", st.Track, counts[rec.KindStrike], res.Injected)
+		}
+		if res.Auth == "tree" {
+			for _, k := range []rec.Kind{rec.KindVerify, rec.KindNodeFetch, rec.KindTrap, rec.KindRetag} {
+				if counts[k] == 0 {
+					t.Errorf("stream %q: no %s events", st.Track, k)
+				}
+			}
+			if uint64(counts[rec.KindTrap]) != res.Violations {
+				t.Errorf("stream %q: %d trap events, report counted %d violations", st.Track, counts[rec.KindTrap], res.Violations)
+			}
+		} else if counts[rec.KindVerify] != 0 {
+			t.Errorf("stream %q: unverified system emitted verify events", st.Track)
+		}
+	}
+}
+
+// TestUntracedRunnerRecordsNothing: without Trace, results carry no
+// streams, TraceOf is empty, and report bytes match a traced run —
+// tracing must be invisible in the report.
+func TestUntracedRunnerRecordsNothing(t *testing.T) {
+	plain, err := Sweep(tracedSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range plain.Results {
+		if res.Trace != nil {
+			t.Fatalf("untraced result %s carries a stream", res.Key())
+		}
+	}
+	if tr := TraceOf(plain); len(tr.Streams) != 0 {
+		t.Fatalf("TraceOf(untraced) has %d streams", len(tr.Streams))
+	}
+	traced, _ := tracedRun(t, 2)
+	pj, err1 := json.Marshal(plain)
+	tj, err2 := json.Marshal(traced)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !bytes.Equal(pj, tj) {
+		t.Error("JSON report differs between traced and untraced runs")
+	}
+}
+
+// TestTracerSnapshotAndHandler: the live hub sorts by track and serves
+// decodable Chrome JSON.
+func TestTracerSnapshotAndHandler(t *testing.T) {
+	_, tr := tracedRun(t, 4)
+	snap := tr.Snapshot()
+	if len(snap.Streams) != 2 {
+		t.Fatalf("snapshot has %d streams, want 2", len(snap.Streams))
+	}
+	if !sort.SliceIsSorted(snap.Streams, func(i, j int) bool {
+		return snap.Streams[i].Track < snap.Streams[j].Track
+	}) {
+		t.Error("snapshot streams not sorted by track")
+	}
+	rr := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/trace", nil))
+	if rr.Code != 200 {
+		t.Fatalf("handler status %d", rr.Code)
+	}
+	got, err := rec.DecodeChrome(rr.Body)
+	if err != nil {
+		t.Fatalf("handler output does not decode: %v", err)
+	}
+	if err := rec.Validate(got); err != nil {
+		t.Fatalf("handler output invalid: %v", err)
+	}
+}
+
+// TestTraceOfMemoHit: a result served from the cross-run memo shares
+// the computing task's stream; TraceOf must append the KindMemoHit
+// marker to a copy, leaving the original stream untouched.
+func TestTraceOfMemoHit(t *testing.T) {
+	st := rec.Stream{Track: "orig", Events: []rec.Event{
+		{Seq: 0, Kind: rec.KindTaskStart},
+		{Seq: 1, Kind: rec.KindTaskEnd, Cycle: 42, Arg: 42},
+	}}
+	cfg := TaskConfig{Engine: "aegis", Workload: "sequential", Refs: 100,
+		CacheSize: 4 << 10, LineSize: 32, BusWidth: 4, Auth: "none"}
+	rep := &Report{Results: []Result{
+		{TaskConfig: cfg, Cycles: 42, Trace: &st},
+		{TaskConfig: cfg, Cycles: 42, Trace: &st},
+	}}
+	tr := TraceOf(rep)
+	if len(tr.Streams) != 2 {
+		t.Fatalf("got %d streams", len(tr.Streams))
+	}
+	a, b := tr.Streams[0], tr.Streams[1]
+	if n := len(a.Events); n != 2 {
+		t.Errorf("first stream grew to %d events", n)
+	}
+	if n := len(b.Events); n != 3 {
+		t.Fatalf("memo stream has %d events, want 3", n)
+	}
+	memo := b.Events[2]
+	if memo.Kind != rec.KindMemoHit || memo.Arg != 0 || memo.Seq != 2 || memo.Cycle != 42 {
+		t.Errorf("memo marker %+v", memo)
+	}
+	if len(st.Events) != 2 {
+		t.Errorf("original sealed stream mutated: %d events", len(st.Events))
+	}
+	if err := rec.Validate(tr); err != nil {
+		t.Errorf("memoized trace invalid: %v", err)
+	}
+}

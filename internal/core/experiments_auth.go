@@ -14,6 +14,7 @@ import (
 	"repro/internal/crypto/modes"
 	"repro/internal/edu"
 	"repro/internal/edu/products"
+	"repro/internal/obs/rec"
 	"repro/internal/sim/authtree"
 	"repro/internal/sim/soc"
 	"repro/internal/sim/trace"
@@ -196,6 +197,67 @@ func E20AuthTrees(refs int) (*Table, error) {
 	return t, nil
 }
 
+// E21Auths and E21Rates are E21's grid: every registered authenticator
+// against three strike rates (tampers per 10k references).
+var (
+	E21Auths = []string{"none", "flat-mac", "flat-fresh", "tree", "ctree"}
+	E21Rates = []float64{1, 4, 16}
+)
+
+// E21Cell simulates one cell of the E21 active-adversary grid and
+// returns its report plus the strike schedule (nil at rate 0). The
+// exact configuration lives here — and only here — so tracelab's
+// per-strike forensics reconstruct the very runs the E21 table
+// aggregates, not a lookalike. rc, when non-nil, flight-records the
+// run (the simulator, the tree authenticator's node walks, and the
+// schedule's injections all emit into it).
+//
+// AEGIS (counter-mode IVs) rather than XOM: stores carry no data in
+// this model, so only a counter-mode engine produces fresh ciphertext
+// on writeback — the condition under which a replay snapshot ever goes
+// stale and the rollback attack means anything.
+func E21Cell(auth string, rate float64, refs int, rc *rec.Recorder) (soc.Report, *attack.Schedule, error) {
+	const lineBytes = 32
+	eng, err := products.AEGIS([]byte("0123456789abcdef"), modes.IVCounter, 0x21)
+	if err != nil {
+		return soc.Report{}, nil, err
+	}
+	cfg := soc.DefaultConfig()
+	cfg.Engine = eng
+	cfg.Recorder = rc
+	if cfg.Verifier, err = BuildAuthenticator(auth, lineBytes); err != nil {
+		return soc.Report{}, nil, err
+	}
+	if tree, ok := cfg.Verifier.(*authtree.Tree); ok {
+		tree.SetRecorder(rc)
+	}
+	var sched *attack.Schedule
+	if rate > 0 {
+		sched = attack.NewSchedule(attack.ScheduleConfig{
+			Seed: 2100 + int64(rate*16), PerTenK: rate, LineBytes: lineBytes,
+		})
+		sched.SetRecorder(rc)
+		cfg.Intruder = sched
+		cfg.OnViolation = sched.OnViolation
+	}
+	s, err := soc.New(cfg)
+	if err != nil {
+		return soc.Report{}, nil, err
+	}
+	// A microcontroller-class footprint (16 KiB code, 32 KiB hot data —
+	// the survey's systems): small enough that tampered lines cycle
+	// back through the cache several times per run. Detection requires
+	// the victim line to cross the bus again — with a multi-megabyte
+	// footprint most tampers simply age out unobserved, which says
+	// something about the attack surface but nothing about the
+	// authenticators under test.
+	src := trace.SequentialSource(trace.Config{
+		Refs: refs, Seed: 21, LoadFraction: 0.35, WriteFraction: 0.4, JumpRate: 0.03, Locality: 0.5,
+		CodeBase: 0, CodeSize: 16 << 10, DataBase: DataBase, DataSize: 32 << 10,
+	})
+	return s.Run(src), sched, nil
+}
+
 // E21AttackSweep drives the active-adversary schedule against each
 // authenticator at increasing strike rates: detection rate, detection
 // latency (references from injection to the fail-stop event), and the
@@ -207,57 +269,13 @@ func E21AttackSweep(refs int) (*Table, error) {
 		PaperClaim: "\"attacks based on the modification of the fetched instructions\" (§5) — measured as a campaign, not a single probe",
 		Header:     []string{"auth", "atk/10k", "injected", "detected", "det-rate", "mean-lat", "max-lat", "fail-stop ovh"},
 	}
-	const lineBytes = 32
-	// A microcontroller-class footprint (16 KiB code, 32 KiB hot data —
-	// the survey's systems): small enough that tampered lines cycle
-	// back through the cache several times per run. Detection requires
-	// the victim line to cross the bus again — with a multi-megabyte
-	// footprint most tampers simply age out unobserved, which says
-	// something about the attack surface but nothing about the
-	// authenticators under test.
-	mkSrc := func() trace.RefSource {
-		return trace.SequentialSource(trace.Config{
-			Refs: refs, Seed: 21, LoadFraction: 0.35, WriteFraction: 0.4, JumpRate: 0.03, Locality: 0.5,
-			CodeBase: 0, CodeSize: 16 << 10, DataBase: DataBase, DataSize: 32 << 10,
-		})
-	}
-
-	// AEGIS (counter-mode IVs) rather than XOM: stores carry no data in
-	// this model, so only a counter-mode engine produces fresh
-	// ciphertext on writeback — the condition under which a replay
-	// snapshot ever goes stale and the rollback attack means anything.
-	run := func(auth string, rate float64) (soc.Report, *attack.Schedule, error) {
-		eng, err := products.AEGIS([]byte("0123456789abcdef"), modes.IVCounter, 0x21)
-		if err != nil {
-			return soc.Report{}, nil, err
-		}
-		cfg := soc.DefaultConfig()
-		cfg.Engine = eng
-		if cfg.Verifier, err = BuildAuthenticator(auth, lineBytes); err != nil {
-			return soc.Report{}, nil, err
-		}
-		var sched *attack.Schedule
-		if rate > 0 {
-			sched = attack.NewSchedule(attack.ScheduleConfig{
-				Seed: 2100 + int64(rate*16), PerTenK: rate, LineBytes: lineBytes,
-			})
-			cfg.Intruder = sched
-			cfg.OnViolation = sched.OnViolation
-		}
-		s, err := soc.New(cfg)
-		if err != nil {
-			return soc.Report{}, nil, err
-		}
-		return s.Run(mkSrc()), sched, nil
-	}
-
-	for _, auth := range []string{"none", "flat-mac", "flat-fresh", "tree", "ctree"} {
-		quiet, _, err := run(auth, 0)
+	for _, auth := range E21Auths {
+		quiet, _, err := E21Cell(auth, 0, refs, nil)
 		if err != nil {
 			return nil, err
 		}
-		for _, rate := range []float64{1, 4, 16} {
-			rep, sched, err := run(auth, rate)
+		for _, rate := range E21Rates {
+			rep, sched, err := E21Cell(auth, rate, refs, nil)
 			if err != nil {
 				return nil, err
 			}

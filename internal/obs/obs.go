@@ -152,15 +152,18 @@ type HistogramSnapshot struct {
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
 }
 
-// Snapshot captures the histogram (reader side; allocates).
+// Snapshot captures the histogram (reader side; allocates). Taken
+// concurrently with Observe it is not a single atomic cut, but the
+// load order preserves the invariant readers rely on: buckets are read
+// first and count last, while Observe increments count first and its
+// bucket last, so a mid-flight observation can be missing from the
+// buckets yet present in Count — never the reverse. Σ buckets ≤ Count
+// always holds (obs_race_test.go pins this under -race).
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {
 		return HistogramSnapshot{}
 	}
-	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
-	if s.Count > 0 {
-		s.Mean = float64(s.Sum) / float64(s.Count)
-	}
+	var s HistogramSnapshot
 	for i := range h.buckets {
 		n := h.buckets[i].Load()
 		if n == 0 {
@@ -175,6 +178,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 			}
 		}
 		s.Buckets = append(s.Buckets, b)
+	}
+	s.Sum = h.sum.Load()
+	s.Count = h.count.Load()
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
 	}
 	return s
 }

@@ -1,0 +1,160 @@
+// The Chrome trace decoder: the reader-side inverse of WriteChrome,
+// used by the round-trip tests and cmd/tracelab's -check mode to prove
+// an exported trace is valid, lossless, and sequence-monotone.
+package rec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// chromeEvent is the wire shape of one trace_event entry. Args holds
+// mixed strings and numbers; the decoder is configured with UseNumber
+// so uint64 payloads survive exactly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// kindByName inverts kindNames (a linear scan; the table is tiny).
+func kindByName(name string) (Kind, bool) {
+	for k := Kind(0); k < kindCount; k++ {
+		if kindNames[k] == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// DecodeChrome parses Chrome trace_event JSON produced by WriteChrome
+// back into a Trace: streams grouped by pid in first-appearance order,
+// events reconstructed from the lossless args payload. Unknown event
+// names or malformed payloads are errors — the decoder is a validator,
+// not a tolerant reader.
+func DecodeChrome(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var file chromeFile
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("rec: decode chrome trace: %w", err)
+	}
+	tr := &Trace{}
+	byPid := make(map[int]int) // pid -> stream index
+	stream := func(pid int) *Stream {
+		if i, ok := byPid[pid]; ok {
+			return &tr.Streams[i]
+		}
+		byPid[pid] = len(tr.Streams)
+		tr.Streams = append(tr.Streams, Stream{})
+		return &tr.Streams[len(tr.Streams)-1]
+	}
+	for i, ce := range file.TraceEvents {
+		switch ce.Ph {
+		case "M":
+			if ce.Name != "process_name" {
+				continue
+			}
+			st := stream(ce.Pid)
+			if name, ok := ce.Args["name"].(string); ok {
+				st.Track = name
+			}
+			if d, ok := ce.Args["dropped"].(json.Number); ok {
+				n, err := strconv.ParseUint(d.String(), 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("rec: event %d: bad dropped count %q", i, d)
+				}
+				st.Dropped = n
+			}
+		case "X", "i":
+			kind, ok := kindByName(ce.Name)
+			if !ok {
+				return nil, fmt.Errorf("rec: event %d: unknown kind %q", i, ce.Name)
+			}
+			ev, err := eventFromArgs(kind, ce.Args)
+			if err != nil {
+				return nil, fmt.Errorf("rec: event %d (%s): %w", i, ce.Name, err)
+			}
+			st := stream(ce.Pid)
+			st.Events = append(st.Events, ev)
+		default:
+			return nil, fmt.Errorf("rec: event %d: unexpected phase %q", i, ce.Ph)
+		}
+	}
+	return tr, nil
+}
+
+// eventFromArgs rebuilds an Event from the lossless args payload.
+func eventFromArgs(kind Kind, args map[string]any) (Event, error) {
+	ev := Event{Kind: kind}
+	u64 := func(key string) (uint64, error) {
+		num, ok := args[key].(json.Number)
+		if !ok {
+			return 0, fmt.Errorf("missing or non-numeric arg %q", key)
+		}
+		n, err := strconv.ParseUint(num.String(), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad arg %q=%q", key, num)
+		}
+		return n, nil
+	}
+	var err error
+	if ev.Seq, err = u64("seq"); err != nil {
+		return ev, err
+	}
+	if ev.Cycle, err = u64("cycle"); err != nil {
+		return ev, err
+	}
+	if ev.Ref, err = u64("ref"); err != nil {
+		return ev, err
+	}
+	if ev.Arg, err = u64("arg"); err != nil {
+		return ev, err
+	}
+	lvl, err := u64("level")
+	if err != nil {
+		return ev, err
+	}
+	ev.Level = uint8(lvl)
+	flags, err := u64("flags")
+	if err != nil {
+		return ev, err
+	}
+	ev.Flags = uint8(flags)
+	addr, ok := args["addr"].(string)
+	if !ok {
+		return ev, fmt.Errorf("missing or non-string arg %q", "addr")
+	}
+	if ev.Addr, err = strconv.ParseUint(strings.TrimPrefix(addr, "0x"), 16, 64); err != nil {
+		return ev, fmt.Errorf("bad addr %q", addr)
+	}
+	return ev, nil
+}
+
+// Validate checks a trace's structural contract: known kinds and
+// strictly increasing sequence numbers within every stream (the
+// canonical-merge ordering the determinism contract promises).
+func Validate(tr *Trace) error {
+	for i := range tr.Streams {
+		st := &tr.Streams[i]
+		for j, ev := range st.Events {
+			if ev.Kind >= kindCount {
+				return fmt.Errorf("rec: stream %d (%s) event %d: invalid kind %d", i, st.Track, j, ev.Kind)
+			}
+			if j > 0 && ev.Seq <= st.Events[j-1].Seq {
+				return fmt.Errorf("rec: stream %d (%s): seq not strictly increasing at event %d (%d after %d)",
+					i, st.Track, j, ev.Seq, st.Events[j-1].Seq)
+			}
+		}
+	}
+	return nil
+}

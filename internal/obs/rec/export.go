@@ -1,0 +1,160 @@
+// Reader-side exporters: Chrome trace_event JSON (Perfetto-loadable)
+// and CSV. Both are byte-deterministic functions of the Trace — the
+// writers iterate slices in order, never maps — because traced sweeps
+// inherit the campaign's contract that -jobs 1 and -jobs 8 emit
+// identical bytes. Never reachable from //repro:hotpath roots
+// (reprolint recdiscipline).
+//
+//repro:deterministic
+package rec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Lane numbers group events into per-track rows ("threads" in the
+// Chrome trace model): one row per cache level plus fixed rows for the
+// EDU, the authenticator, the adversary, and the task lifecycle.
+const (
+	laneLifecycle = 0  // task start/end, baseline, memo
+	laneCacheBase = 1  // lane 1 = L1 transfers, lane 2 = L2, ...
+	laneEDU       = 8  // encipher/decipher batches
+	laneAuth      = 9  // verify/retag + tree node traffic
+	laneAttack    = 10 // strikes and traps
+)
+
+// laneOf maps an event to its display lane.
+func laneOf(ev Event) int {
+	switch ev.Kind {
+	case KindTaskStart, KindTaskEnd, KindBaseline, KindMemoHit:
+		return laneLifecycle
+	case KindFill, KindWriteback, KindWriteThrough:
+		return laneCacheBase + int(ev.Level)
+	case KindDecipher, KindEncipher:
+		return laneEDU
+	case KindVerify, KindRetag, KindNodeFetch, KindNodeHit, KindDirtyPropagate:
+		return laneAuth
+	case KindStrike, KindTrap:
+		return laneAttack
+	}
+	return laneAttack + 1
+}
+
+// laneName names a lane for the trace viewer's row header.
+func laneName(lane int) string {
+	switch {
+	case lane == laneLifecycle:
+		return "lifecycle"
+	case lane >= laneCacheBase && lane < laneEDU:
+		return fmt.Sprintf("L%d transfers", lane-laneCacheBase+1)
+	case lane == laneEDU:
+		return "edu"
+	case lane == laneAuth:
+		return "auth"
+	case lane == laneAttack:
+		return "attack"
+	}
+	return fmt.Sprintf("lane %d", lane)
+}
+
+// spanKind reports whether the event exports as a Chrome "X" complete
+// event (a bar with duration) rather than an instant, and its ts/dur.
+// Costed transfers and verifier operations span [Cycle, Cycle+Arg];
+// task end and baseline span the whole run from cycle 0, which is what
+// makes the per-task track read as a Gantt row in Perfetto.
+func spanKind(ev Event) (ts, dur uint64, ok bool) {
+	switch ev.Kind {
+	case KindFill, KindWriteback, KindWriteThrough, KindVerify, KindRetag:
+		return ev.Cycle, ev.Arg, true
+	case KindTaskEnd, KindBaseline:
+		return 0, ev.Arg, true
+	}
+	return 0, 0, false
+}
+
+// WriteChrome serializes tr as Chrome trace_event JSON ("JSON Object
+// Format": a traceEvents array), loadable in Perfetto / chrome://
+// tracing. Tracks map to processes (pid = stream index, named by
+// metadata events), lanes to threads; ts/dur are simulated cycles
+// (displayed as microseconds — the unit label is cosmetic, the
+// ordering is what matters). Every event's args carry the full record
+// (seq/cycle/ref/addr/level/flags/arg), so DecodeChrome round-trips
+// losslessly whatever ph shape the event rendered as.
+func WriteChrome(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	io.WriteString(bw, "{\"traceEvents\":[")
+	first := true
+	sep := func() {
+		if first {
+			first = false
+		} else {
+			io.WriteString(bw, ",")
+		}
+		io.WriteString(bw, "\n")
+	}
+	for pid := range tr.Streams {
+		st := &tr.Streams[pid]
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%q,"dropped":%d}}`,
+			pid, st.Track, st.Dropped)
+		// Name each lane on first use; lane usage is a pure function of
+		// the event sequence, so the metadata is as deterministic as the
+		// events themselves.
+		var named [laneAttack + 2]bool
+		for _, ev := range st.Events {
+			lane := laneOf(ev)
+			if lane < len(named) && !named[lane] {
+				named[lane] = true
+				sep()
+				fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%q}}`,
+					pid, lane, laneName(lane))
+			}
+			sep()
+			if ts, dur, isSpan := spanKind(ev); isSpan {
+				fmt.Fprintf(bw, `{"name":%q,"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"args":{%s}}`,
+					ev.Kind.String(), pid, lane, ts, dur, eventArgs(ev))
+			} else {
+				fmt.Fprintf(bw, `{"name":%q,"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%d,"args":{%s}}`,
+					ev.Kind.String(), pid, lane, ev.Cycle, eventArgs(ev))
+			}
+		}
+	}
+	io.WriteString(bw, "\n]}\n")
+	return bw.Flush()
+}
+
+// eventArgs renders the lossless record payload embedded in every
+// Chrome event. Addr is hex (a string: JSON numbers lose precision
+// past 2^53, and hex is what you grep for anyway).
+func eventArgs(ev Event) string {
+	return fmt.Sprintf(`"seq":%d,"cycle":%d,"ref":%d,"addr":"0x%x","level":%d,"flags":%d,"arg":%d`,
+		ev.Seq, ev.Cycle, ev.Ref, ev.Addr, ev.Level, ev.Flags, ev.Arg)
+}
+
+// WriteCSV serializes tr as flat CSV, one event per row — the format
+// for spreadsheet/pandas analysis of event streams.
+func WriteCSV(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	io.WriteString(bw, "track,seq,kind,cycle,ref,addr,level,flags,arg\n")
+	for i := range tr.Streams {
+		st := &tr.Streams[i]
+		for _, ev := range st.Events {
+			fmt.Fprintf(bw, "%s,%d,%s,%d,%d,0x%x,%d,%d,%d\n",
+				csvEscape(st.Track), ev.Seq, ev.Kind.String(),
+				ev.Cycle, ev.Ref, ev.Addr, ev.Level, ev.Flags, ev.Arg)
+		}
+	}
+	return bw.Flush()
+}
+
+// csvEscape quotes a track label if it contains CSV metacharacters.
+func csvEscape(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == ',' || c == '"' || c == '\n' {
+			return fmt.Sprintf("%q", s)
+		}
+	}
+	return s
+}

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/crypto/ghash"
 	"repro/internal/edu"
+	"repro/internal/obs/rec"
 )
 
 // Variant selects the tree flavor.
@@ -115,6 +116,9 @@ type Tree struct {
 	NodeHits, NodeFetches uint64
 	// m is the live metrics bundle (zero value = publish nowhere).
 	m Metrics
+	// rc is the flight recorder (nil = no-op): walks emit per-node
+	// fetch/hit/dirty-propagate events under the SoC's current stamp.
+	rc *rec.Recorder
 }
 
 // New builds a tree authenticator.
@@ -243,13 +247,16 @@ func (t *Tree) walkVerify(leaf uint64) uint64 {
 		if t.cache.probe(key, false) {
 			t.NodeHits++
 			t.m.NodeHits.Inc()
+			t.rc.Emit(rec.KindNodeHit, key, uint8(lvl), 0, 0)
 			return stall + 1
 		}
 		t.NodeFetches++
 		t.m.NodeFetches.Inc()
+		t.rc.Emit(rec.KindNodeFetch, key, uint8(lvl), 0, t.fetchCost+uint64(t.cfg.NodeHashCycles))
 		stall += t.fetchCost + uint64(t.cfg.NodeHashCycles)
 		if t.cache.insert(key, false) {
 			stall += t.fetchCost // dirty victim written back
+			t.rc.Emit(rec.KindDirtyPropagate, key, uint8(lvl), 0, t.fetchCost)
 		}
 	}
 	return stall + 1 // met the on-chip root
@@ -266,13 +273,16 @@ func (t *Tree) walkUpdate(leaf uint64) uint64 {
 		if t.cache.probe(key, true) {
 			t.NodeHits++
 			t.m.NodeHits.Inc()
+			t.rc.Emit(rec.KindNodeHit, key, uint8(lvl), rec.FlagUpdate, 0)
 			return stall + uint64(t.cfg.NodeHashCycles)
 		}
 		t.NodeFetches++
 		t.m.NodeFetches.Inc()
+		t.rc.Emit(rec.KindNodeFetch, key, uint8(lvl), rec.FlagUpdate, t.fetchCost+2*uint64(t.cfg.NodeHashCycles))
 		stall += t.fetchCost + 2*uint64(t.cfg.NodeHashCycles) // verify, then recompute
 		if t.cache.insert(key, true) {
 			stall += t.fetchCost
+			t.rc.Emit(rec.KindDirtyPropagate, key, uint8(lvl), rec.FlagUpdate, t.fetchCost)
 		}
 	}
 	return stall + uint64(t.cfg.NodeHashCycles) // root register update

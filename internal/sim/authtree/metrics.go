@@ -1,6 +1,9 @@
 package authtree
 
-import "repro/internal/obs"
+import (
+	"repro/internal/obs"
+	"repro/internal/obs/rec"
+)
 
 // Metrics publishes the tree authenticator's activity into
 // pre-registered obs metrics, live — node-cache hit rate and tag-unit
@@ -37,3 +40,9 @@ func NewMetrics(r *obs.Registry) Metrics {
 // disable). Trees sharing a registry share cells — a campaign's
 // aggregate node-cache hit rate.
 func (t *Tree) SetMetrics(m Metrics) { t.m = m }
+
+// SetRecorder installs the flight recorder (nil to disable): walks
+// emit per-node fetch/hit/dirty-propagate events into it, stamped with
+// whatever cycle/ref the SoC last set — the tree has no clock of its
+// own, and the recorder's stamp discipline means it doesn't need one.
+func (t *Tree) SetRecorder(r *rec.Recorder) { t.rc = r }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/obs/rec"
 	"repro/internal/sim/authtree"
 	"repro/internal/sim/cache"
 	"repro/internal/sim/trace"
@@ -25,7 +26,7 @@ func allocsPerRun(runs int, f func()) float64 {
 	return testing.AllocsPerRun(runs, f)
 }
 
-func instrumentedSystem(t *testing.T, reg *obs.Registry, twoLevel bool) (*SoC, *authtree.Tree) {
+func instrumentedSystem(t *testing.T, reg *obs.Registry, twoLevel bool, rc *rec.Recorder) (*SoC, *authtree.Tree) {
 	t.Helper()
 	ver, err := authtree.New(authtree.Config{
 		Key:       []byte("0123456789abcdef"),
@@ -41,7 +42,9 @@ func instrumentedSystem(t *testing.T, reg *obs.Registry, twoLevel bool) (*SoC, *
 		t.Fatal(err)
 	}
 	ver.SetMetrics(authtree.NewMetrics(reg))
+	ver.SetRecorder(rc)
 	cfg := DefaultConfig()
+	cfg.Recorder = rc
 	if twoLevel {
 		cfg.L2 = cache.Config{Size: 64 << 10, LineSize: 32, Ways: 8, Policy: cache.LRU, WriteMode: cache.WriteBack}
 	}
@@ -76,7 +79,7 @@ func TestHotLoopZeroAllocsInstrumented(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			reg := obs.NewRegistry()
-			s, _ := instrumentedSystem(t, reg, tc.twoLevel)
+			s, _ := instrumentedSystem(t, reg, tc.twoLevel, nil)
 			src := obsTestSource()
 			rep := s.Run(src) // warm DRAM pages, tag stores, node cache, buffers
 			if rep.AuthStalls == 0 {
@@ -96,7 +99,7 @@ func TestHotLoopZeroAllocsInstrumented(t *testing.T) {
 // the observable twin carries the same truth, just readable mid-run.
 func TestMetricsMirrorReport(t *testing.T) {
 	reg := obs.NewRegistry()
-	s, ver := instrumentedSystem(t, reg, true)
+	s, ver := instrumentedSystem(t, reg, true, nil)
 	rep := s.Run(obsTestSource())
 
 	counters := map[string]uint64{
@@ -142,7 +145,7 @@ func TestMetricsMirrorReport(t *testing.T) {
 
 	// A second run on a shared registry accumulates rather than resets.
 	before := reg.Counter("soc.refs").Load()
-	s2, _ := instrumentedSystem(t, reg, true)
+	s2, _ := instrumentedSystem(t, reg, true, nil)
 	s2.Run(obsTestSource())
 	if got := reg.Counter("soc.refs").Load(); got != before+rep.Refs {
 		t.Errorf("shared registry refs = %d, want %d", got, before+rep.Refs)
@@ -153,7 +156,7 @@ func TestMetricsMirrorReport(t *testing.T) {
 // identically: same Report, no metric traffic.
 func TestNilMetricsIdentical(t *testing.T) {
 	reg := obs.NewRegistry()
-	inst, _ := instrumentedSystem(t, reg, true)
+	inst, _ := instrumentedSystem(t, reg, true, nil)
 	plainCfg := inst.cfg
 	plainCfg.Metrics = nil
 	plainCfg.Verifier = nil

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/edu"
+	"repro/internal/obs/rec"
 	"repro/internal/sim/bus"
 	"repro/internal/sim/cache"
 	"repro/internal/sim/dram"
@@ -84,6 +85,13 @@ type Config struct {
 	// zero allocations per reference (the obs fixed-registry contract).
 	// nil runs exactly as before — publishes become nil-receiver no-ops.
 	Metrics *Metrics
+	// Recorder, when non-nil, installs the flight recorder
+	// (internal/obs/rec): the hot loop emits one fixed-size event per
+	// line transfer, EDU granule batch, verification, and trap into the
+	// preallocated ring, stamped with simulated-cycle time and reference
+	// index — still zero allocations per reference. nil (the default)
+	// publishes nowhere via nil-receiver no-ops.
+	Recorder *rec.Recorder
 }
 
 // Intruder is an active adversary with write access to external state
@@ -217,6 +225,12 @@ type SoC struct {
 	ctIn, ctOut, ptBuf []byte
 	// m is the live metrics bundle (zero value = publish nowhere).
 	m Metrics
+	// rc is the flight recorder (nil = no-op sink); granules is the
+	// engine blocks per line figure EDU events carry; flushing marks
+	// transfers emitted by the end-of-run drain (FlagFlush).
+	rc       *rec.Recorder
+	granules uint64
+	flushing bool
 }
 
 // New assembles a system from cfg.
@@ -315,10 +329,12 @@ func New(cfg Config) (*SoC, error) {
 		cfg: cfg, hier: hier, cache: c, l2: l2, bus: b, dram: d,
 		engine: eng, verifier: cfg.Verifier,
 		inner: inner, placement: placement, l2Hit: l2Hit,
-		shadows: shadows,
-		ctIn:    make([]byte, ls),
-		ctOut:   make([]byte, ls),
-		ptBuf:   make([]byte, ls),
+		shadows:  shadows,
+		ctIn:     make([]byte, ls),
+		ctOut:    make([]byte, ls),
+		ptBuf:    make([]byte, ls),
+		rc:       cfg.Recorder,
+		granules: uint64(ls / eng.BlockBytes()),
 	}
 	if cfg.Metrics != nil {
 		s.m = *cfg.Metrics
@@ -458,6 +474,7 @@ func (s *SoC) fill(lineAddr uint64, pt []byte, rep *Report) (cycles, engineStall
 	s.engine.DecryptLine(lineAddr, pt, s.ctIn)
 	rep.EngineLines++
 	s.m.EngineLines.Inc()
+	s.rc.Emit(rec.KindDecipher, lineAddr, 0, 0, s.granules)
 	transfer := dramCycles + busCycles
 	extra := s.engine.ReadExtraCycles(lineAddr, ls, transfer)
 	cycles = transfer + extra
@@ -474,7 +491,11 @@ func (s *SoC) fill(lineAddr uint64, pt []byte, rep *Report) (cycles, engineStall
 func (s *SoC) verifyInbound(lineAddr uint64, ct, pt []byte, rep *Report) uint64 {
 	stall, ok := s.verifier.VerifyRead(lineAddr, ct)
 	rep.AuthStalls += stall
-	if !ok {
+	if ok {
+		s.rc.Emit(rec.KindVerify, lineAddr, 0, 0, stall)
+	} else {
+		s.rc.Emit(rec.KindVerify, lineAddr, 0, rec.FlagFail, stall)
+		s.rc.Emit(rec.KindTrap, lineAddr, 0, 0, uint64(s.cfg.ViolationCycles))
 		stall += uint64(s.cfg.ViolationCycles)
 		rep.AuthStalls += uint64(s.cfg.ViolationCycles)
 		rep.AuthViolations++
@@ -498,6 +519,7 @@ func (s *SoC) spill(lineAddr uint64, pt []byte, rep *Report) (cycles, engineStal
 	s.engine.EncryptLine(lineAddr, s.ctOut, pt)
 	rep.EngineLines++
 	s.m.EngineLines.Inc()
+	s.rc.Emit(rec.KindEncipher, lineAddr, 0, 0, s.granules)
 	dramCycles := s.dram.AccessCycles(lineAddr)
 	busCycles := s.bus.Transfer(bus.Write, lineAddr, s.ctOut[:s.transferSize(lineAddr, ls)])
 	s.dram.Write(lineAddr, s.ctOut)
@@ -536,6 +558,7 @@ func (s *SoC) innerFill(lineAddr uint64, pt, ct []byte, rep *Report) (cycles, en
 	s.engine.DecryptLine(lineAddr, pt, ct)
 	rep.EngineLines++
 	s.m.EngineLines.Inc()
+	s.rc.Emit(rec.KindDecipher, lineAddr, 0, rec.FlagInner, s.granules)
 	extra := s.engine.ReadExtraCycles(lineAddr, ls, s.l2Hit)
 	cycles = s.l2Hit + extra
 	if s.verifier != nil {
@@ -552,12 +575,14 @@ func (s *SoC) innerSpill(lineAddr uint64, pt, ct []byte, rep *Report) (cycles, e
 	s.engine.EncryptLine(lineAddr, ct, pt)
 	rep.EngineLines++
 	s.m.EngineLines.Inc()
+	s.rc.Emit(rec.KindEncipher, lineAddr, 0, rec.FlagInner, s.granules)
 	extra := s.engine.WriteExtraCycles(lineAddr, ls)
 	cycles = s.l2Hit + extra
 	if s.verifier != nil {
 		us := s.verifier.UpdateWrite(lineAddr, ct)
 		rep.AuthStalls += us
 		s.m.AuthStalls.Add(us)
+		s.rc.Emit(rec.KindRetag, lineAddr, 0, rec.FlagInner, us)
 		cycles += us
 	}
 	return cycles, extra
@@ -568,6 +593,10 @@ func (s *SoC) innerSpill(lineAddr uint64, pt, ct []byte, rep *Report) (cycles, e
 // ones move bytes raw (outer boundary under an inner placement) or in
 // plaintext (L1<->L2 under an outer placement).
 func (s *SoC) processEvent(ev cache.Event, rep *Report) {
+	// Stamp the transfer's start time: every event the transfer causes
+	// (EDU batches, verifications, tree walks, traps) shares it, and
+	// the closing KindFill/KindWriteback record carries the total cost.
+	s.rc.Stamp(rep.Cycles, s.curRef)
 	var c, e uint64
 	if ev.PeerSlot < 0 {
 		// The chip boundary: DRAM on the far side.
@@ -598,6 +627,20 @@ func (s *SoC) processEvent(ev cache.Event, rep *Report) {
 			copy(l2Data, l1Data)
 			c = s.l2Hit
 		}
+	}
+	if s.rc != nil {
+		kind := rec.KindFill
+		if ev.Kind != cache.EvFill {
+			kind = rec.KindWriteback
+		}
+		flags := uint8(0)
+		if ev.PeerSlot < 0 {
+			flags |= rec.FlagChip
+		}
+		if s.flushing {
+			flags |= rec.FlagFlush
+		}
+		s.rc.Emit(kind, ev.Addr, uint8(ev.Level), flags, c)
 	}
 	rep.Cycles += c
 	rep.StallCycles += c
@@ -642,6 +685,7 @@ func (s *SoC) writeThrough(addr uint64, size, hitSlot int, rep *Report) (cycles,
 		s.engine.DecryptLine(lineAddr, pt, s.ctIn)
 		rep.EngineLines++
 		s.m.EngineLines.Inc()
+		s.rc.Emit(rec.KindDecipher, lineAddr, 0, 0, s.granules)
 		if s.verifier != nil {
 			// The recovered line comes from tamperable memory: verify it
 			// before its plaintext feeds the rewrite.
@@ -651,6 +695,7 @@ func (s *SoC) writeThrough(addr uint64, size, hitSlot int, rep *Report) (cycles,
 	s.engine.EncryptLine(lineAddr, s.ctOut, pt)
 	rep.EngineLines++
 	s.m.EngineLines.Inc()
+	s.rc.Emit(rec.KindEncipher, lineAddr, 0, 0, s.granules)
 
 	if needRMW {
 		rep.RMWEvents++
@@ -698,6 +743,7 @@ func (s *SoC) updateOutbound(lineAddr uint64, rep *Report) uint64 {
 	us := s.verifier.UpdateWrite(lineAddr, s.ctOut)
 	rep.AuthStalls += us
 	s.m.AuthStalls.Add(us)
+	s.rc.Emit(rec.KindRetag, lineAddr, 0, 0, us)
 	return us
 }
 
@@ -718,6 +764,9 @@ func (s *SoC) Run(src trace.RefSource) Report {
 		if !ok {
 			break
 		}
+		// Stamp before the intruder strikes so injection events carry
+		// the reference index the attack schedule accounts under.
+		s.rc.Stamp(rep.Cycles, rep.Refs)
 		if s.cfg.Intruder != nil {
 			s.cfg.Intruder.Strike(rep.Refs, ref, s)
 		}
@@ -743,7 +792,9 @@ func (s *SoC) Run(src trace.RefSource) Report {
 			if res.Hit {
 				hitSlot = res.Slot
 			}
+			s.rc.Stamp(rep.Cycles, s.curRef)
 			c, e := s.writeThrough(ref.Addr, int(ref.Size), hitSlot, &rep)
+			s.rc.Emit(rec.KindWriteThrough, ref.Addr&^uint64(s.cfg.Cache.LineSize-1), 0, 0, c)
 			rep.Cycles += c
 			rep.StallCycles += c
 			rep.EngineStalls += e
@@ -753,10 +804,12 @@ func (s *SoC) Run(src trace.RefSource) Report {
 
 	if !s.cfg.SkipFinalFlush {
 		preFlush := rep.Cycles
+		s.flushing = true
 		for _, ev := range s.hier.Flush() {
 			s.processEvent(ev, &rep)
 			rep.FlushedLines++
 		}
+		s.flushing = false
 		s.m.Cycles.Add(rep.Cycles - preFlush)
 	}
 
