@@ -15,6 +15,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -230,4 +231,22 @@ func BenchmarkAuthTreeVerifiedRun(b *testing.B) {
 	}
 	b.StopTimer()
 	reportPerRef(b, 20000)
+}
+
+// BenchmarkReprolintAnalyze tracks the static-contract linter's full
+// cost — module load, devirtualized call-graph construction, and every
+// analyzer — in the perf trajectory, so graph growth that pushes lint
+// toward the CI wall-time cap surfaces as a benchmark regression before
+// it surfaces as a red build.
+func BenchmarkReprolintAnalyze(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prog, err := analysis.Load(".", "./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := prog.Analyze()
+		if len(res.Diags) > 0 {
+			b.Fatalf("tree not clean under reprolint: %d diagnostic(s)", len(res.Diags))
+		}
+	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -62,6 +63,114 @@ func TestJSONGolden(t *testing.T) {
 	if !bytes.Equal(stdout.Bytes(), want) {
 		t.Errorf("-json output drifted from %s (refresh deliberately with -update):\ngot:\n%s\nwant:\n%s",
 			golden, stdout.String(), want)
+	}
+}
+
+// TestSARIFOutput: -sarif writes a parseable SARIF 2.1.0 log alongside
+// the normal text report — one rule per analyzer, one result per
+// diagnostic, module-relative URIs — and leaves the exit code driven
+// by the findings.
+func TestSARIFOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.sarif")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-sarif", path, "./testdata/src/demo"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "reprolint" {
+		t.Fatalf("expected one run driven by reprolint, got %+v", log.Runs)
+	}
+	rules := make(map[string]bool)
+	for _, r := range log.Runs[0].Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	for _, want := range []string{"hotpathalloc", "determinism", "shardpurity", "atomicdiscipline", "metricsdiscipline", "recdiscipline", "devirt"} {
+		if !rules[want] {
+			t.Errorf("rules missing analyzer %q", want)
+		}
+	}
+	found := false
+	for _, r := range log.Runs[0].Results {
+		if r.RuleID == "hotpathalloc" && strings.Contains(r.Message.Text, "fmt.Sprintf") {
+			found = true
+			if len(r.Locations) != 1 || !strings.HasPrefix(r.Locations[0].PhysicalLocation.ArtifactLocation.URI, "cmd/reprolint/testdata/") {
+				t.Errorf("fmt.Sprintf result has bad location: %+v", r.Locations)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no hotpathalloc result mentioning fmt.Sprintf in:\n%s", data)
+	}
+}
+
+// TestGraphDump: -graph writes the DOT call graph (to stdout via "-")
+// and exits 0 without running the analyzers.
+func TestGraphDump(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-graph", "-", "./testdata/src/demo"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"digraph reprolint", "rankdir=LR", "hotpath"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q\noutput:\n%s", want, out)
+		}
+	}
+}
+
+// TestTimingOutput: -timing reports per-analyzer wall time on stderr
+// only — stdout (and with it the -json golden schema) stays untouched.
+func TestTimingOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-timing", "-C", "../../internal/crypto/ghash", "."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("stdout must stay clean under -timing, got:\n%s", stdout.String())
+	}
+	errOut := stderr.String()
+	for _, want := range []string{"hotpathalloc", "shardpurity", "atomicdiscipline", "total"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("timing output missing %q\nstderr:\n%s", want, errOut)
+		}
 	}
 }
 

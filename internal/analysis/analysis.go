@@ -17,6 +17,7 @@ package analysis
 import (
 	"go/token"
 	"sort"
+	"time"
 )
 
 // Diagnostic is one finding: a contract violation at a position.
@@ -43,14 +44,23 @@ type Analyzer struct {
 }
 
 // All is the full reprolint suite in reporting order.
-var All = []*Analyzer{HotPathAlloc, Determinism, MetricsDiscipline, RecDiscipline}
+var All = []*Analyzer{HotPathAlloc, Determinism, ShardPurity, AtomicDiscipline, MetricsDiscipline, RecDiscipline, Devirt}
+
+// Timing records one analyzer's wall-clock cost, so lint runtime is a
+// tracked quantity (surfaced by the driver, guarded in CI) rather than
+// an invisible tax that creeps up.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
 
 // Result is the outcome of an Analyze call: surviving diagnostics
-// (position-sorted), the allowances that were exercised, and marker
-// grammar problems folded in as diagnostics.
+// (position-sorted), the allowances that were exercised, marker grammar
+// problems folded in as diagnostics, and per-analyzer timings.
 type Result struct {
 	Diags      []Diagnostic
 	Allowances []Allowance
+	Timings    []Timing
 }
 
 // Analyze runs the given analyzers (default: All) over the program,
@@ -64,11 +74,13 @@ func (p *Program) Analyze(analyzers ...*Analyzer) *Result {
 	}
 	var raw []Diagnostic
 	raw = append(raw, p.markers.diags...)
+	res := &Result{}
 	for _, a := range analyzers {
+		start := time.Now()
 		raw = append(raw, a.Run(p)...)
+		res.Timings = append(res.Timings, Timing{Analyzer: a.Name, Elapsed: time.Since(start)})
 	}
 
-	res := &Result{}
 	for _, d := range raw {
 		if m := p.markers.allowFor(d.Pos); m != nil {
 			m.Used++

@@ -2,59 +2,188 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
-// callGraph is the static, direct-call graph over module functions.
-// Only calls whose callee is statically resolvable are edges: plain
-// function calls, qualified package calls, and method calls on concrete
-// receivers. Calls through interfaces or function values are NOT edges —
-// the contract there is that every implementation carries its own
-// marker (enforced socially by DESIGN.md §9 and dynamically by the
-// AllocsPerRun pins), because the truth of a devirtualized target is a
-// whole-program property a per-PR linter should not guess at.
+// edgeKind records how a call edge was resolved, so the -graph dump and
+// the soundness story can distinguish a plain call from a devirtualized
+// one.
+type edgeKind uint8
+
+const (
+	// edgeStatic is a directly resolved call: plain function, qualified
+	// package function, or method on a concrete receiver.
+	edgeStatic edgeKind = iota
+	// edgeIface is a class-hierarchy-resolved interface-method call:
+	// one edge per in-module concrete type implementing the interface.
+	edgeIface
+	// edgeFuncVal is a function-value call resolved through the
+	// flow-insensitive assignment scan: one edge per func literal or
+	// function reference ever assigned to the called slot.
+	edgeFuncVal
+	// edgeContains links a function to a literal defined inside it: a
+	// closure created on a marked path is conservatively assumed to run
+	// on it.
+	edgeContains
+)
+
+func (k edgeKind) String() string {
+	switch k {
+	case edgeIface:
+		return "iface"
+	case edgeFuncVal:
+		return "funcval"
+	case edgeContains:
+		return "contains"
+	default:
+		return "static"
+	}
+}
+
+// edge is one resolved call target.
+type edge struct {
+	to   *FuncInfo
+	kind edgeKind
+}
+
+// callGraph is the devirtualized, whole-program call graph over module
+// functions — declarations and function literals alike. Three edge
+// sources: statically resolved calls; interface-method call sites
+// resolved by class hierarchy analysis to every in-module concrete
+// implementer (scope = loaded module packages only — an out-of-module
+// implementation is invisible, which is sound for this repo because the
+// contracts only bind module code); and function-value calls resolved
+// through a flow-insensitive scan of every assignment into func-typed
+// vars, fields and params. Calls through reflect cannot be resolved at
+// all and are recorded as opaque sites, which the devirt analyzer turns
+// into diagnostics rather than silence.
 type callGraph struct {
-	callees map[*types.Func][]*types.Func
+	callees map[*FuncInfo][]edge
+	// opaque records reflect call positions per enclosing function.
+	opaque map[*FuncInfo][]token.Pos
 }
 
 func buildCallGraph(prog *Program) *callGraph {
-	g := &callGraph{callees: make(map[*types.Func][]*types.Func)}
-	for _, fi := range prog.markers.decls {
-		if fi.Decl.Body == nil || fi.Obj == nil {
+	g := &callGraph{
+		callees: make(map[*FuncInfo][]edge),
+		opaque:  make(map[*FuncInfo][]token.Pos),
+	}
+	dv := newDevirtualizer(prog)
+	for _, fi := range prog.markers.all {
+		if fi.Body() == nil {
 			continue
 		}
-		seen := make(map[*types.Func]bool)
-		// FuncLit bodies are walked as part of the enclosing function:
-		// a closure defined in a hot function runs on the hot path.
-		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			callee := calleeOf(fi.Pkg, call)
-			if callee == nil || seen[callee] {
-				return true
-			}
-			if pkg := callee.Pkg(); pkg == nil || !prog.Local(pkg.Path()) {
-				return true
-			}
-			seen[callee] = true
-			g.callees[fi.Obj] = append(g.callees[fi.Obj], callee)
-			return true
-		})
+		g.buildEdges(prog, dv, fi)
 	}
 	return g
 }
 
+// buildEdges walks one function body (not descending into nested
+// literals — each literal is its own node) and records every resolvable
+// call target.
+func (g *callGraph) buildEdges(prog *Program, dv *devirtualizer, fi *FuncInfo) {
+	seen := make(map[*FuncInfo]bool)
+	add := func(to *FuncInfo, kind edgeKind) {
+		if to == nil || to.Body() == nil || seen[to] {
+			return
+		}
+		seen[to] = true
+		g.callees[fi] = append(g.callees[fi], edge{to: to, kind: kind})
+	}
+	inspectShallow(fi.Body(), func(n ast.Node, stack []ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			add(prog.markers.lits[node], edgeContains)
+		case *ast.CallExpr:
+			g.resolveCall(prog, dv, fi, node, add)
+		}
+		return true
+	})
+}
+
+// resolveCall classifies one call site and adds its edges.
+func (g *callGraph) resolveCall(prog *Program, dv *devirtualizer, fi *FuncInfo, call *ast.CallExpr, add func(*FuncInfo, edgeKind)) {
+	pkg := fi.Pkg
+	if isConversion(pkg, call) || builtinName(pkg, call) != "" {
+		return
+	}
+	fun := ast.Unparen(call.Fun)
+
+	// Interface-method calls (and interface method expressions):
+	// devirtualize by class hierarchy before consulting calleeOf, which
+	// deliberately reports them unresolvable. This also covers methods
+	// promoted from embedded interface fields, whose selection receiver
+	// is the concrete outer struct.
+	if selx, ok := fun.(*ast.SelectorExpr); ok {
+		if sel, ok := pkg.Info.Selections[selx]; ok {
+			if m, ok := sel.Obj().(*types.Func); ok && methodIface(m) != nil {
+				for _, impl := range dv.implementersOf(methodIface(m), m.Name()) {
+					add(impl, edgeIface)
+				}
+				return
+			}
+		}
+	}
+
+	if callee := calleeOf(pkg, call); callee != nil {
+		if cpkg := callee.Pkg(); cpkg != nil && cpkg.Path() == "reflect" && reflectInvoker[callee.Name()] {
+			g.opaque[fi] = append(g.opaque[fi], call.Pos())
+			return
+		}
+		add(dv.declFor(callee), edgeStatic)
+		return
+	}
+
+	// Immediately invoked literal: func(){...}().
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		add(prog.markers.lits[lit], edgeStatic)
+		return
+	}
+
+	// Function-value call: resolve the called slot (var, field, param,
+	// or indexed collection) through the assignment-flow scan.
+	if slot := slotObj(pkg, fun); slot != nil {
+		for _, target := range dv.flows[slot] {
+			add(target, edgeFuncVal)
+		}
+	}
+}
+
+// reflectInvoker names the reflect entry points that invoke arbitrary
+// code: past one of these, no static analysis can follow.
+var reflectInvoker = map[string]bool{"Call": true, "CallSlice": true}
+
+// methodIface returns the interface type a method belongs to, or nil
+// for a concrete method.
+func methodIface(m *types.Func) *types.Interface {
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	return iface
+}
+
 // calleeOf statically resolves a call's target, or nil when the target
 // is dynamic (interface method, function value, type conversion).
+// Generic instantiations resolve to their origin declaration.
 func calleeOf(pkg *Package, call *ast.CallExpr) *types.Func {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
 		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
-			return fn
+			return fn.Origin()
+		}
+	case *ast.IndexExpr:
+		// Generic instantiation f[T](...).
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+				return fn.Origin()
+			}
 		}
 	case *ast.SelectorExpr:
 		if sel, ok := pkg.Info.Selections[fun]; ok {
@@ -62,18 +191,41 @@ func calleeOf(pkg *Package, call *ast.CallExpr) *types.Func {
 			if !ok {
 				return nil
 			}
-			// A method call on an interface value has no static body;
-			// returning it is harmless (no decl) but misleading for
-			// root attribution, so drop it explicitly.
-			if types.IsInterface(sel.Recv()) {
+			// Interface receivers have no static body; the caller
+			// devirtualizes them through the class hierarchy instead.
+			if methodIface(fn) != nil {
 				return nil
 			}
-			return fn
+			return fn.Origin()
 		}
 		// Qualified call: pkg.Func.
 		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
-			return fn
+			return fn.Origin()
 		}
+	}
+	return nil
+}
+
+// slotObj resolves the storage location a function-value call reads
+// from: a plain variable, a struct field, a parameter, or the base
+// collection of an index expression (handlers[i]() resolves to every
+// function ever stored in handlers).
+func slotObj(pkg *Package, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := pkg.Info.Uses[x]; o != nil {
+			return o
+		}
+		return pkg.Info.Defs[x]
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[x]; ok {
+			return sel.Obj()
+		}
+		return pkg.Info.Uses[x.Sel]
+	case *ast.IndexExpr:
+		return slotObj(pkg, x.X)
+	case *ast.StarExpr:
+		return slotObj(pkg, x.X)
 	}
 	return nil
 }
@@ -85,49 +237,78 @@ type reached struct {
 	root *FuncInfo
 }
 
-// reachableFrom walks the call graph breadth-first from the marked
-// roots and returns every module function with a body that the contract
-// covers, each attributed to one originating root. Iteration order is
-// deterministic (sorted by function full name).
+// reachableFrom walks the devirtualized call graph breadth-first from
+// the marked roots and returns every module function with a body that
+// the contract covers, each attributed to one originating root.
+// Iteration order is deterministic (sorted by function full name).
 func (p *Program) reachableFrom(roots []*FuncInfo) []reached {
 	sort.Slice(roots, func(i, j int) bool {
-		return fullName(roots[i].Obj) < fullName(roots[j].Obj)
+		return p.nameOf(roots[i]) < p.nameOf(roots[j])
 	})
-	rootOf := make(map[*types.Func]*FuncInfo)
-	var queue []*types.Func
+	rootOf := make(map[*FuncInfo]*FuncInfo)
+	var queue []*FuncInfo
 	for _, r := range roots {
-		if r.Obj == nil || rootOf[r.Obj] != nil {
+		if r == nil || rootOf[r] != nil {
 			continue
 		}
-		rootOf[r.Obj] = r
-		queue = append(queue, r.Obj)
+		rootOf[r] = r
+		queue = append(queue, r)
 	}
 	for len(queue) > 0 {
 		fn := queue[0]
 		queue = queue[1:]
-		for _, callee := range p.graph.callees[fn] {
-			if rootOf[callee] != nil {
+		for _, e := range p.graph.callees[fn] {
+			if rootOf[e.to] != nil {
 				continue
 			}
-			if p.markers.decls[callee] == nil {
-				continue // no body loaded (e.g. interface method)
-			}
-			rootOf[callee] = rootOf[fn]
-			queue = append(queue, callee)
+			rootOf[e.to] = rootOf[fn]
+			queue = append(queue, e.to)
 		}
 	}
 	var out []reached
 	for fn, root := range rootOf {
-		fi := p.markers.decls[fn]
-		if fi == nil || fi.Decl.Body == nil {
+		if fn.Body() == nil {
 			continue
 		}
-		out = append(out, reached{fn: fi, root: root})
+		out = append(out, reached{fn: fn, root: root})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		return fullName(out[i].fn.Obj) < fullName(out[j].fn.Obj)
+		return p.nameOf(out[i].fn) < p.nameOf(out[j].fn)
 	})
 	return out
+}
+
+// allRoots returns the union of every contract's marked roots, for
+// passes (like the devirt opacity report) that apply to any marked
+// path.
+func (p *Program) allRoots() []*FuncInfo {
+	seen := make(map[*FuncInfo]bool)
+	var out []*FuncInfo
+	for _, c := range []contract{contractHotpath, contractDeterministic, contractShardpure} {
+		for _, fi := range p.markers.roots(c) {
+			if !seen[fi] {
+				seen[fi] = true
+				out = append(out, fi)
+			}
+		}
+	}
+	return out
+}
+
+// nameOf renders a stable human-readable name for any graph node:
+// fullName for declarations, pkg.func@file:line for literals.
+func (p *Program) nameOf(fi *FuncInfo) string {
+	if fi == nil {
+		return ""
+	}
+	if fi.Obj != nil {
+		return fullName(fi.Obj)
+	}
+	if fi.Lit != nil {
+		pos := p.Fset.Position(fi.Lit.Pos())
+		return fi.Pkg.Types.Name() + ".func@" + filepath.Base(pos.Filename) + ":" + strconv.Itoa(pos.Line) + ":" + strconv.Itoa(pos.Column)
+	}
+	return "?"
 }
 
 // fullName is types.Func.FullName without the module path noise:
@@ -165,9 +346,9 @@ func fullName(fn *types.Func) string {
 }
 
 // viaClause renders the attribution suffix for propagated diagnostics.
-func viaClause(r reached) string {
+func viaClause(p *Program, r reached) string {
 	if r.fn == r.root {
 		return ""
 	}
-	return " (reached from " + strings.TrimSpace(fullName(r.root.Obj)) + ")"
+	return " (reached from " + strings.TrimSpace(p.nameOf(r.root)) + ")"
 }

@@ -62,7 +62,7 @@ var randConstructors = map[string]bool{
 
 func runDeterminism(prog *Program) []Diagnostic {
 	var diags []Diagnostic
-	for _, r := range prog.reachableFrom(prog.markers.roots(false)) {
+	for _, r := range prog.reachableFrom(prog.markers.roots(contractDeterministic)) {
 		diags = append(diags, checkDeterministic(prog, r)...)
 	}
 	return diags
@@ -71,7 +71,7 @@ func runDeterminism(prog *Program) []Diagnostic {
 func checkDeterministic(prog *Program, r reached) []Diagnostic {
 	var diags []Diagnostic
 	fi, pkg := r.fn, r.fn.Pkg
-	via := viaClause(r)
+	via := viaClause(prog, r)
 	report := func(pos token.Pos, msg string) {
 		diags = append(diags, Diagnostic{
 			Pos:      prog.Fset.Position(pos),
@@ -80,7 +80,7 @@ func checkDeterministic(prog *Program, r reached) []Diagnostic {
 		})
 	}
 
-	inspectStack(fi.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
+	inspectShallow(fi.Body(), func(n ast.Node, stack []ast.Node) bool {
 		switch node := n.(type) {
 		case *ast.CallExpr:
 			checkBannedCall(pkg, node, report)
@@ -148,7 +148,7 @@ func isSortedKeysIdiom(pkg *Package, fi *FuncInfo, rng *ast.RangeStmt) bool {
 	}
 	// Look for a sort call after the range that consumes the keys var.
 	sorted := false
-	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+	ast.Inspect(fi.Body(), func(n ast.Node) bool {
 		if sorted || n == nil || n.Pos() <= rng.End() {
 			return true
 		}

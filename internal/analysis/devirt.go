@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// devirtualizer holds the whole-program facts the call-graph builder
+// uses to resolve dynamic call sites:
+//
+//   - the class hierarchy: every concrete named type declared in a
+//     loaded module package, against which interface call sites are
+//     resolved (types.Implements over value and pointer method sets);
+//   - the function-value flow map: for every func-typed var, field or
+//     parameter, the set of func literals and function references ever
+//     assigned into it, collected flow-insensitively across the whole
+//     module (assignments, var initializers, composite literals, and
+//     arguments at statically resolved call sites).
+//
+// Both are deliberately over-approximate: an interface call gains an
+// edge to every implementer whether or not that implementation can
+// flow there dynamically, and a slot call gains an edge to every value
+// the slot ever held. Over-approximation is the right direction for
+// contract checking — it can only surface extra code to audit, never
+// hide a reachable violation. The two blind spots are reflect (opaque
+// sites become devirt diagnostics) and generic named types, whose
+// uninstantiated method sets CHA cannot soundly enumerate; neither
+// construct appears on the repo's marked paths.
+type devirtualizer struct {
+	prog *Program
+	// concrete is every non-generic, non-interface named type declared
+	// in a loaded module package, in deterministic order.
+	concrete []*types.Named
+	// impls caches interface-method resolution per interface identity.
+	impls map[*types.Interface]map[string][]*FuncInfo
+	// flows maps a slot object (var/field/param) to every function
+	// value assigned into it anywhere in the module.
+	flows map[types.Object][]*FuncInfo
+}
+
+func newDevirtualizer(prog *Program) *devirtualizer {
+	dv := &devirtualizer{
+		prog:  prog,
+		impls: make(map[*types.Interface]map[string][]*FuncInfo),
+		flows: make(map[types.Object][]*FuncInfo),
+	}
+	dv.collectConcrete()
+	dv.scanFlows()
+	return dv
+}
+
+// declFor maps a *types.Func to its loaded declaration, nil when the
+// function has no body in the loaded set (external, interface method).
+func (dv *devirtualizer) declFor(fn *types.Func) *FuncInfo {
+	if fn == nil {
+		return nil
+	}
+	return dv.prog.markers.decls[fn.Origin()]
+}
+
+// collectConcrete gathers the class hierarchy: package-scope named
+// types with concrete underlying in every loaded package.
+func (dv *devirtualizer) collectConcrete() {
+	for _, pkg := range dv.prog.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) || named.TypeParams().Len() > 0 {
+				continue
+			}
+			dv.concrete = append(dv.concrete, named)
+		}
+	}
+}
+
+// implementersOf resolves an interface method to the declared bodies of
+// every in-module concrete type satisfying the interface, sorted by
+// full name for deterministic edge order.
+func (dv *devirtualizer) implementersOf(iface *types.Interface, method string) []*FuncInfo {
+	byMethod := dv.impls[iface]
+	if byMethod == nil {
+		byMethod = make(map[string][]*FuncInfo)
+		dv.impls[iface] = byMethod
+	}
+	if out, ok := byMethod[method]; ok {
+		return out
+	}
+	var out []*FuncInfo
+	for _, named := range dv.concrete {
+		var recv types.Type = named
+		if !types.Implements(named, iface) {
+			if !types.Implements(types.NewPointer(named), iface) {
+				continue
+			}
+			recv = types.NewPointer(named)
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, named.Obj().Pkg(), method)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if fi := dv.declFor(fn); fi != nil && fi.Body() != nil {
+			out = append(out, fi)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return dv.prog.nameOf(out[i]) < dv.prog.nameOf(out[j])
+	})
+	byMethod[method] = out
+	return out
+}
+
+// scanFlows walks every loaded file recording function values flowing
+// into storage slots.
+func (dv *devirtualizer) scanFlows() {
+	for _, pkg := range dv.prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.AssignStmt:
+					if len(node.Lhs) != len(node.Rhs) {
+						return true
+					}
+					for i := range node.Lhs {
+						dv.record(pkg, slotObj(pkg, node.Lhs[i]), node.Rhs[i])
+					}
+				case *ast.ValueSpec:
+					if len(node.Names) != len(node.Values) {
+						return true
+					}
+					for i, name := range node.Names {
+						dv.record(pkg, pkg.Info.Defs[name], node.Values[i])
+					}
+				case *ast.CompositeLit:
+					dv.recordStructLit(pkg, node)
+				case *ast.CallExpr:
+					dv.recordCallArgs(pkg, node)
+				}
+				return true
+			})
+		}
+	}
+	// Deduplicate and order each slot's target list.
+	for slot, targets := range dv.flows {
+		seen := make(map[*FuncInfo]bool, len(targets))
+		var uniq []*FuncInfo
+		for _, t := range targets {
+			if !seen[t] {
+				seen[t] = true
+				uniq = append(uniq, t)
+			}
+		}
+		sort.Slice(uniq, func(i, j int) bool {
+			return dv.prog.nameOf(uniq[i]) < dv.prog.nameOf(uniq[j])
+		})
+		dv.flows[slot] = uniq
+	}
+}
+
+// record stores the function values of expr under slot.
+func (dv *devirtualizer) record(pkg *Package, slot types.Object, expr ast.Expr) {
+	if slot == nil {
+		return
+	}
+	if targets := dv.funcTargets(pkg, expr); len(targets) > 0 {
+		dv.flows[slot] = append(dv.flows[slot], targets...)
+	}
+}
+
+// recordStructLit maps composite-literal elements to their struct
+// fields (keyed and positional) so S{Handler: fn} flows fn into the
+// Handler slot.
+func (dv *devirtualizer) recordStructLit(pkg *Package, lit *ast.CompositeLit) {
+	t := typeOf(pkg, lit)
+	if t == nil {
+		return
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok {
+				dv.record(pkg, pkg.Info.Uses[key], kv.Value)
+			}
+			continue
+		}
+		if i < st.NumFields() {
+			dv.record(pkg, st.Field(i), elt)
+		}
+	}
+}
+
+// recordCallArgs flows call arguments into the parameters of
+// statically resolved in-module callees: memo.get(key, computeFn)
+// makes computeFn a target of the compute parameter's slot.
+func (dv *devirtualizer) recordCallArgs(pkg *Package, call *ast.CallExpr) {
+	callee := calleeOf(pkg, call)
+	if callee == nil {
+		return
+	}
+	fi := dv.declFor(callee)
+	if fi == nil || fi.Obj == nil {
+		return
+	}
+	sig, ok := fi.Obj.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param *types.Var
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue
+			}
+			param = params.At(params.Len() - 1)
+		case i < params.Len():
+			param = params.At(i)
+		}
+		if param != nil {
+			dv.record(pkg, param, arg)
+		}
+	}
+}
+
+// funcTargets extracts the function nodes an expression can evaluate
+// to: literals, function/method references (interface method values
+// resolve through the class hierarchy), and composite literals of
+// functions, flattened.
+func (dv *devirtualizer) funcTargets(pkg *Package, e ast.Expr) []*FuncInfo {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		if fi := dv.prog.markers.lits[x]; fi != nil {
+			return []*FuncInfo{fi}
+		}
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[x].(*types.Func); ok {
+			if fi := dv.declFor(fn); fi != nil {
+				return []*FuncInfo{fi}
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[x]; ok {
+			if m, ok := sel.Obj().(*types.Func); ok {
+				// A method value or method expression on an interface
+				// receiver can be any implementer's method.
+				if iface := methodIface(m); iface != nil {
+					return dv.implementersOf(iface, m.Name())
+				}
+				if fi := dv.declFor(m); fi != nil {
+					return []*FuncInfo{fi}
+				}
+			}
+			return nil
+		}
+		if fn, ok := pkg.Info.Uses[x.Sel].(*types.Func); ok {
+			if fi := dv.declFor(fn); fi != nil {
+				return []*FuncInfo{fi}
+			}
+		}
+	case *ast.CompositeLit:
+		var out []*FuncInfo
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			out = append(out, dv.funcTargets(pkg, elt)...)
+		}
+		return out
+	case *ast.CallExpr:
+		if isConversion(pkg, x) && len(x.Args) == 1 {
+			return dv.funcTargets(pkg, x.Args[0])
+		}
+	case *ast.UnaryExpr:
+		return dv.funcTargets(pkg, x.X)
+	}
+	return nil
+}
+
+// Devirt reports the devirtualizer's blind spots on marked paths: a
+// reflect invocation reachable from any contract root means the static
+// guarantee stops there, and that must surface as a finding rather
+// than silent under-approximation.
+var Devirt = &Analyzer{
+	Name: "devirt",
+	Doc:  "flags reflect invocations reachable from contract roots, where devirtualization is blind",
+	Run:  runDevirt,
+}
+
+func runDevirt(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, r := range prog.reachableFrom(prog.allRoots()) {
+		for _, pos := range prog.graph.opaque[r.fn] {
+			diags = append(diags, Diagnostic{
+				Pos:      prog.Fset.Position(pos),
+				Analyzer: "devirt",
+				Message:  "call through reflect cannot be devirtualized: contract checking is blind past this point; restructure the call or move it off the marked path" + viaClause(prog, r),
+			})
+		}
+	}
+	return diags
+}

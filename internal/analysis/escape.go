@@ -112,7 +112,7 @@ func assignedLocal(pkg *Package, fi *FuncInfo, as *ast.AssignStmt, rhs ast.Node)
 // (not a parameter capture concern here — params are local too, but a
 // param already came from the caller, so storing into it is fine).
 func isLocalVar(fi *FuncInfo, v *types.Var) bool {
-	return fi.Decl != nil && v.Pos() >= fi.Decl.Pos() && v.Pos() <= fi.Decl.End()
+	return fi.Body() != nil && v.Pos() >= fi.Pos() && v.Pos() <= fi.End()
 }
 
 // localEscapes scans every use of a local variable bound to a fresh
@@ -120,7 +120,7 @@ func isLocalVar(fi *FuncInfo, v *types.Var) bool {
 func localEscapes(pkg *Package, fi *FuncInfo, v *types.Var) (bool, string) {
 	escaped := false
 	reason := ""
-	inspectStack(fi.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
+	inspectStack(fi.Body(), func(n ast.Node, stack []ast.Node) bool {
 		if escaped {
 			return false
 		}

@@ -155,3 +155,31 @@ func TestRecDisciplineFixture(t *testing.T) {
 func TestMetricsDisciplineFixture(t *testing.T) {
 	runFixture(t, "metricsfix", MetricsDiscipline)
 }
+
+// TestShardPurityFixture also runs Devirt: shardfix carries the
+// devirtualization cases (interface dispatch with two implementers,
+// func value in a struct field, method value, reflect blind spot).
+func TestShardPurityFixture(t *testing.T) {
+	runFixture(t, "shardfix", ShardPurity, Devirt)
+}
+
+func TestAtomicDisciplineFixture(t *testing.T) {
+	runFixture(t, "atomfix", AtomicDiscipline)
+}
+
+// TestUnmarkedVerifierImplementationFails is the regression pin for
+// interface-edge propagation into real module interfaces: a dirty
+// edu.Verifier implementation with no marker of its own must be
+// flagged when a marked caller dispatches through the interface.
+func TestUnmarkedVerifierImplementationFails(t *testing.T) {
+	res := runFixture(t, "devirtfix", HotPathAlloc)
+	found := false
+	for _, d := range res.Diags {
+		if strings.Contains(d.Pos.Filename, "devirtfix") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unmarked edu.Verifier implementation produced no diagnostics — interface edges regressed")
+	}
+}

@@ -29,7 +29,7 @@ var HotPathAlloc = &Analyzer{
 
 func runHotPathAlloc(prog *Program) []Diagnostic {
 	var diags []Diagnostic
-	for _, r := range prog.reachableFrom(prog.markers.roots(true)) {
+	for _, r := range prog.reachableFrom(prog.markers.roots(contractHotpath)) {
 		diags = append(diags, checkAllocFree(prog, r)...)
 	}
 	return diags
@@ -38,7 +38,7 @@ func runHotPathAlloc(prog *Program) []Diagnostic {
 func checkAllocFree(prog *Program, r reached) []Diagnostic {
 	var diags []Diagnostic
 	fi, pkg := r.fn, r.fn.Pkg
-	via := viaClause(r)
+	via := viaClause(prog, r)
 	report := func(pos token.Pos, msg string) {
 		diags = append(diags, Diagnostic{
 			Pos:      prog.Fset.Position(pos),
@@ -50,7 +50,7 @@ func checkAllocFree(prog *Program, r reached) []Diagnostic {
 	// Pre-pass: bless self-append statements (x = append(x, ...)), the
 	// amortized-buffer idiom that is allocation-free in steady state.
 	blessed := make(map[*ast.CallExpr]bool)
-	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+	ast.Inspect(fi.Body(), func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
 		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
 			return true
@@ -65,7 +65,7 @@ func checkAllocFree(prog *Program, r reached) []Diagnostic {
 		return true
 	})
 
-	inspectStack(fi.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
+	inspectShallow(fi.Body(), func(n ast.Node, stack []ast.Node) bool {
 		if inPanicArg(pkg, stack) {
 			return true // assertion path: exempt, but keep walking for nested panics
 		}
@@ -277,11 +277,8 @@ func checkAssignBoxing(pkg *Package, as *ast.AssignStmt, report func(token.Pos, 
 
 // checkReturnBoxing flags concrete values returned as interface results.
 func checkReturnBoxing(pkg *Package, fi *FuncInfo, ret *ast.ReturnStmt, report func(token.Pos, string)) {
-	if fi.Obj == nil {
-		return
-	}
-	sig, ok := fi.Obj.Type().(*types.Signature)
-	if !ok || sig.Results().Len() != len(ret.Results) {
+	sig := fi.Sig()
+	if sig == nil || sig.Results().Len() != len(ret.Results) {
 		return
 	}
 	for i, res := range ret.Results {
@@ -332,7 +329,7 @@ func capturedVar(pkg *Package, fi *FuncInfo, lit *ast.FuncLit) string {
 		}
 		// Captured: declared in the enclosing function but outside the
 		// literal itself.
-		if v.Pos() >= fi.Decl.Pos() && v.Pos() <= fi.Decl.End() &&
+		if v.Pos() >= fi.Pos() && v.Pos() <= fi.End() &&
 			(v.Pos() < lit.Pos() || v.Pos() > lit.End()) {
 			captured = v.Name()
 		}

@@ -10,13 +10,21 @@ import (
 // Marker grammar (see DESIGN.md §9):
 //
 //	//repro:hotpath        — on a function's doc comment: the function and
-//	                         every same-module function it (statically)
-//	                         calls must be allocation-free. Before the
-//	                         package clause: applies to every function in
-//	                         that file.
+//	                         every same-module function it can reach —
+//	                         including through interface dispatch and
+//	                         function values (the devirtualized graph) —
+//	                         must be allocation-free. Before the package
+//	                         clause: applies to every function in that
+//	                         file.
 //	//repro:deterministic  — same placement rules; the reachable code must
 //	                         not consult wall-clock time, global RNG, the
 //	                         environment, or unsorted map iteration.
+//	//repro:shardpure      — same placement rules; the reachable code must
+//	                         not write package-level state, read the
+//	                         clock/environment, or depend on goroutine or
+//	                         host identity. This is the static form of the
+//	                         -jobs 1 ≡ -jobs N contract: a task's result
+//	                         may depend only on its own inputs.
 //	//repro:allow <reason> — on (or directly above) a flagged line:
 //	                         suppresses diagnostics on that line. The
 //	                         reason is mandatory; the driver counts and
@@ -27,18 +35,87 @@ const (
 	markerPrefix      = "//repro:"
 	markerHotpath     = "hotpath"
 	markerDeterminism = "deterministic"
+	markerShardpure   = "shardpure"
 	markerAllow       = "allow"
 )
 
-// FuncInfo is the per-function record the analyzers share: declaration,
-// owning package, and which contracts the function is a root of.
+// contract names one of the propagating marker contracts.
+type contract int
+
+const (
+	contractHotpath contract = iota
+	contractDeterministic
+	contractShardpure
+)
+
+// FuncInfo is the per-function record the analyzers share. It covers
+// both declared functions (Decl != nil, Obj != nil) and function
+// literals (Lit != nil): a literal stored in a struct field or passed
+// as a callback is a call-graph node of its own, reached through the
+// function-value flow edges rather than lexical containment.
 type FuncInfo struct {
 	Obj  *types.Func
 	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
 	Pkg  *Package
 
 	Hotpath       bool
 	Deterministic bool
+	Shardpure     bool
+}
+
+// Body returns the function's body block (nil for bodyless decls).
+func (fi *FuncInfo) Body() *ast.BlockStmt {
+	if fi.Lit != nil {
+		return fi.Lit.Body
+	}
+	if fi.Decl != nil {
+		return fi.Decl.Body
+	}
+	return nil
+}
+
+// Pos and End bound the whole function (declaration or literal), used
+// by the capture analysis to classify variable origins.
+func (fi *FuncInfo) Pos() token.Pos {
+	if fi.Lit != nil {
+		return fi.Lit.Pos()
+	}
+	return fi.Decl.Pos()
+}
+
+func (fi *FuncInfo) End() token.Pos {
+	if fi.Lit != nil {
+		return fi.Lit.End()
+	}
+	return fi.Decl.End()
+}
+
+// Sig returns the function's signature type, or nil when unknown.
+func (fi *FuncInfo) Sig() *types.Signature {
+	if fi.Obj != nil {
+		sig, _ := fi.Obj.Type().(*types.Signature)
+		return sig
+	}
+	if fi.Lit != nil {
+		if t := typeOf(fi.Pkg, fi.Lit); t != nil {
+			sig, _ := t.(*types.Signature)
+			return sig
+		}
+	}
+	return nil
+}
+
+// marked reports whether the contract's marker is set on this function.
+func (fi *FuncInfo) marked(c contract) bool {
+	switch c {
+	case contractHotpath:
+		return fi.Hotpath
+	case contractDeterministic:
+		return fi.Deterministic
+	default:
+		return fi.Shardpure
+	}
 }
 
 // allowMark is one //repro:allow comment. It suppresses diagnostics on
@@ -55,9 +132,14 @@ type markerSet struct {
 	// decls indexes every function declaration, marked or not, for
 	// call-graph body lookup.
 	decls map[*types.Func]*FuncInfo
+	// lits indexes every function literal as its own call-graph node.
+	lits map[*ast.FuncLit]*FuncInfo
+	// order of all FuncInfos in file/position order, for deterministic
+	// whole-program passes.
+	all []*FuncInfo
 	// allows maps filename → line → mark.
 	allows map[string]map[int]*allowMark
-	// order keeps allows in file/line order for stable reporting.
+	// allowOrder keeps allows in file/line order for stable reporting.
 	order []*allowMark
 	// diags holds marker-grammar problems (unknown directive, missing
 	// reason, misplaced marker).
@@ -68,6 +150,7 @@ func collectMarkers(prog *Program) *markerSet {
 	ms := &markerSet{
 		funcs:  make(map[*types.Func]*FuncInfo),
 		decls:  make(map[*types.Func]*FuncInfo),
+		lits:   make(map[*ast.FuncLit]*FuncInfo),
 		allows: make(map[string]map[int]*allowMark),
 	}
 	for _, pkg := range prog.Pkgs {
@@ -87,7 +170,7 @@ func (ms *markerSet) collectFile(prog *Program, pkg *Package, file *ast.File) {
 		}
 	}
 
-	fileHot, fileDet := false, false
+	var fileHot, fileDet, fileShard bool
 	for _, group := range file.Comments {
 		fileLevel := group.End() < file.Package
 		target := funcDocs[group]
@@ -98,20 +181,19 @@ func (ms *markerSet) collectFile(prog *Program, pkg *Package, file *ast.File) {
 			}
 			pos := prog.Fset.Position(c.Pos())
 			switch directive {
-			case markerHotpath, markerDeterminism:
+			case markerHotpath, markerDeterminism, markerShardpure:
 				switch {
 				case target != nil:
 					fi := ms.funcInfo(pkg, target)
-					if directive == markerHotpath {
-						fi.Hotpath = true
-					} else {
-						fi.Deterministic = true
-					}
+					fi.setMarker(directive)
 				case fileLevel:
-					if directive == markerHotpath {
+					switch directive {
+					case markerHotpath:
 						fileHot = true
-					} else {
+					case markerDeterminism:
 						fileDet = true
+					default:
+						fileShard = true
 					}
 				default:
 					ms.diags = append(ms.diags, Diagnostic{
@@ -147,7 +229,7 @@ func (ms *markerSet) collectFile(prog *Program, pkg *Package, file *ast.File) {
 		}
 	}
 
-	if fileHot || fileDet {
+	if fileHot || fileDet || fileShard {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok {
@@ -156,14 +238,35 @@ func (ms *markerSet) collectFile(prog *Program, pkg *Package, file *ast.File) {
 			fi := ms.funcInfo(pkg, fd)
 			fi.Hotpath = fi.Hotpath || fileHot
 			fi.Deterministic = fi.Deterministic || fileDet
+			fi.Shardpure = fi.Shardpure || fileShard
 		}
 	}
 
-	// Register every declaration for call-graph lookup.
+	// Register every declaration and every function literal for
+	// call-graph lookup. Literals are their own nodes: one assigned to
+	// a struct field in setup and invoked through the field on a marked
+	// path must be checked even though no declaration names it.
 	for _, decl := range file.Decls {
 		if fd, ok := decl.(*ast.FuncDecl); ok {
 			ms.funcInfo(pkg, fd)
 		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			ms.litInfo(pkg, lit)
+		}
+		return true
+	})
+}
+
+func (fi *FuncInfo) setMarker(directive string) {
+	switch directive {
+	case markerHotpath:
+		fi.Hotpath = true
+	case markerDeterminism:
+		fi.Deterministic = true
+	case markerShardpure:
+		fi.Shardpure = true
 	}
 }
 
@@ -178,6 +281,17 @@ func (ms *markerSet) funcInfo(pkg *Package, decl *ast.FuncDecl) *FuncInfo {
 	fi := &FuncInfo{Obj: obj, Decl: decl, Pkg: pkg}
 	ms.decls[obj] = fi
 	ms.funcs[obj] = fi
+	ms.all = append(ms.all, fi)
+	return fi
+}
+
+func (ms *markerSet) litInfo(pkg *Package, lit *ast.FuncLit) *FuncInfo {
+	if fi, ok := ms.lits[lit]; ok {
+		return fi
+	}
+	fi := &FuncInfo{Lit: lit, Pkg: pkg}
+	ms.lits[lit] = fi
+	ms.all = append(ms.all, fi)
 	return fi
 }
 
@@ -205,10 +319,10 @@ func (ms *markerSet) allowFor(pos token.Position) *allowMark {
 }
 
 // roots returns the marked roots for one contract.
-func (ms *markerSet) roots(hotpath bool) []*FuncInfo {
+func (ms *markerSet) roots(c contract) []*FuncInfo {
 	var out []*FuncInfo
-	for _, fi := range ms.decls {
-		if (hotpath && fi.Hotpath) || (!hotpath && fi.Deterministic) {
+	for _, fi := range ms.all {
+		if fi.marked(c) {
 			out = append(out, fi)
 		}
 	}

@@ -24,7 +24,7 @@ var MetricsDiscipline = &Analyzer{
 func runMetricsDiscipline(prog *Program) []Diagnostic {
 	obsPath := prog.ModPath + "/internal/obs"
 	var diags []Diagnostic
-	for _, r := range prog.reachableFrom(prog.markers.roots(true)) {
+	for _, r := range prog.reachableFrom(prog.markers.roots(contractHotpath)) {
 		diags = append(diags, checkMetrics(prog, r, obsPath)...)
 	}
 	return diags
@@ -33,7 +33,7 @@ func runMetricsDiscipline(prog *Program) []Diagnostic {
 func checkMetrics(prog *Program, r reached, obsPath string) []Diagnostic {
 	var diags []Diagnostic
 	fi, pkg := r.fn, r.fn.Pkg
-	via := viaClause(r)
+	via := viaClause(prog, r)
 	report := func(pos token.Pos, msg string) {
 		diags = append(diags, Diagnostic{
 			Pos:      prog.Fset.Position(pos),
@@ -42,7 +42,7 @@ func checkMetrics(prog *Program, r reached, obsPath string) []Diagnostic {
 		})
 	}
 
-	inspectStack(fi.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
+	inspectShallow(fi.Body(), func(n ast.Node, stack []ast.Node) bool {
 		switch node := n.(type) {
 		case *ast.CallExpr:
 			callee := calleeOf(pkg, node)

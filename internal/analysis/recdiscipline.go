@@ -23,7 +23,7 @@ var RecDiscipline = &Analyzer{
 func runRecDiscipline(prog *Program) []Diagnostic {
 	recPath := prog.ModPath + "/internal/obs/rec"
 	var diags []Diagnostic
-	for _, r := range prog.reachableFrom(prog.markers.roots(true)) {
+	for _, r := range prog.reachableFrom(prog.markers.roots(contractHotpath)) {
 		diags = append(diags, checkRec(prog, r, recPath)...)
 	}
 	return diags
@@ -32,7 +32,7 @@ func runRecDiscipline(prog *Program) []Diagnostic {
 func checkRec(prog *Program, r reached, recPath string) []Diagnostic {
 	var diags []Diagnostic
 	fi, pkg := r.fn, r.fn.Pkg
-	via := viaClause(r)
+	via := viaClause(prog, r)
 	report := func(pos token.Pos, msg string) {
 		diags = append(diags, Diagnostic{
 			Pos:      prog.Fset.Position(pos),
@@ -41,7 +41,7 @@ func checkRec(prog *Program, r reached, recPath string) []Diagnostic {
 		})
 	}
 
-	inspectStack(fi.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
+	inspectShallow(fi.Body(), func(n ast.Node, stack []ast.Node) bool {
 		node, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true

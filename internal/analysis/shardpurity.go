@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ShardPurity enforces the static form of the -jobs 1 ≡ -jobs N
+// byte-identical contract at the task level: functions marked
+// //repro:shardpure — the campaign's task-identity, baseline-memo and
+// task-execution roots — and every module function reachable from them
+// through the devirtualized graph must compute results from their
+// inputs alone. A task that writes shared package-level state, reads
+// the clock or environment, or observes worker parallelism can produce
+// schedule-dependent output that the dynamic jobs-determinism smokes
+// only catch when the schedule cooperates.
+//
+// Flagged: writes (assignment, ++/--, map/index stores) whose base
+// resolves to a package-level variable; the wall-clock/environment
+// reads the determinism analyzer bans; runtime host/goroutine identity
+// reads (GOMAXPROCS, NumCPU, NumGoroutine); and the global math/rand
+// generator, whose state is shared across every shard in the process.
+var ShardPurity = &Analyzer{
+	Name: "shardpurity",
+	Doc:  "flags shared-state writes and host-identity reads reachable from //repro:shardpure roots",
+	Run:  runShardPurity,
+}
+
+// shardBannedRuntime maps runtime functions to why a shard must not
+// call them.
+var shardBannedRuntime = map[string]string{
+	"GOMAXPROCS":   "reads host parallelism",
+	"NumCPU":       "reads host parallelism",
+	"NumGoroutine": "reads goroutine identity",
+}
+
+func runShardPurity(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, r := range prog.reachableFrom(prog.markers.roots(contractShardpure)) {
+		diags = append(diags, checkShardPure(prog, r)...)
+	}
+	return diags
+}
+
+func checkShardPure(prog *Program, r reached) []Diagnostic {
+	var diags []Diagnostic
+	fi, pkg := r.fn, r.fn.Pkg
+	via := viaClause(prog, r)
+	report := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:      prog.Fset.Position(pos),
+			Analyzer: "shardpurity",
+			Message:  msg + via,
+		})
+	}
+
+	inspectShallow(fi.Body(), func(n ast.Node, stack []ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				if v := pkgLevelTarget(pkg, lhs); v != nil {
+					report(lhs.Pos(), "package-level state written ("+v.Name()+"): sharded tasks must not share mutable state")
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := pkgLevelTarget(pkg, node.X); v != nil {
+				report(node.X.Pos(), "package-level state written ("+v.Name()+"): sharded tasks must not share mutable state")
+			}
+		case *ast.CallExpr:
+			checkShardCall(pkg, node, report)
+		}
+		return true
+	})
+	return diags
+}
+
+func checkShardCall(pkg *Package, call *ast.CallExpr, report func(token.Pos, string)) {
+	callee := calleeOf(pkg, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // instance-scoped methods (seeded *rand.Rand etc.) are fine
+	}
+	path, name := callee.Pkg().Path(), callee.Name()
+	if why, ok := bannedCalls[path][name]; ok {
+		report(call.Pos(), "call to "+path+"."+name+" "+why+": a shard's result must depend only on its inputs")
+		return
+	}
+	if path == "runtime" {
+		if why, ok := shardBannedRuntime[name]; ok {
+			report(call.Pos(), "call to runtime."+name+" "+why+": a shard's result must depend only on its inputs")
+		}
+		return
+	}
+	if (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name] {
+		report(call.Pos(), "global math/rand."+name+" shares process-wide seed state across shards; thread a *rand.Rand from the task seed")
+	}
+}
+
+// pkgLevelTarget resolves a write destination to the package-level
+// variable it mutates, or nil for locals, parameters and fields of
+// local values. Writes THROUGH a package-level base count: pkgMap[k],
+// pkgVar.field and pkgSlice[i] all mutate shared state.
+func pkgLevelTarget(pkg *Package, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.Ident:
+			v := identVar(pkg, x)
+			if v != nil && isPkgLevel(v) {
+				return v
+			}
+			return nil
+		case *ast.SelectorExpr:
+			// Qualified reference to another package's variable.
+			if _, ok := pkg.Info.Uses[identOf(x.X)].(*types.PkgName); ok {
+				if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && isPkgLevel(v) {
+					return v
+				}
+				return nil
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+func identVar(pkg *Package, id *ast.Ident) *types.Var {
+	if id == nil {
+		return nil
+	}
+	if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := pkg.Info.Defs[id].(*types.Var)
+	return v
+}
+
+// isPkgLevel reports whether v is declared at package scope (the scope
+// whose parent is the universe).
+func isPkgLevel(v *types.Var) bool {
+	return v.Parent() != nil && v.Parent().Parent() == types.Universe
+}

@@ -1,0 +1,69 @@
+// Package atomfix is the atomic-discipline fixture: any variable whose
+// address reaches a sync/atomic function must be accessed atomically
+// everywhere — a single plain load or store against it is a data race.
+// Composite-literal initialization is exempt (happens-before
+// publication), and variables never touched atomically are untracked.
+package atomfix
+
+import "sync/atomic"
+
+type cell struct {
+	n    uint64
+	cold uint64
+}
+
+func (c *cell) bump() {
+	atomic.AddUint64(&c.n, 1) // sanctioned access form: clean
+}
+
+func (c *cell) racyRead() uint64 {
+	return c.n // want `plain read of n: the variable is accessed atomically at atomfix\.go:\d+`
+}
+
+func (c *cell) racyWrite() {
+	c.n = 0 // want `plain write of n`
+}
+
+func (c *cell) cleanRead() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+func (c *cell) casLoop(old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&c.n, old, new)
+}
+
+func (c *cell) coldPath() uint64 {
+	c.cold++ // never accessed atomically: untracked, clean
+	return c.cold
+}
+
+// newCell initializes the field in a composite literal: construction
+// happens-before publication, so plain initialization is exempt.
+func newCell() *cell {
+	return &cell{n: 0, cold: 0}
+}
+
+var hits uint64
+
+func observe() {
+	atomic.AddUint64(&hits, 1)
+}
+
+func racyGlobalRead() uint64 {
+	return hits // want `plain read of hits`
+}
+
+func racyGlobalWrite() {
+	hits = 0 // want `plain write of hits`
+}
+
+func cleanGlobalRead() uint64 {
+	return atomic.LoadUint64(&hits)
+}
+
+// escape hands out the address outside an atomic call: every later
+// access through the pointer is invisible to the checker, so the
+// address-taking itself is flagged as a write-class access.
+func escape() *uint64 {
+	return &hits // want `plain write of hits`
+}

@@ -187,5 +187,5 @@ type iface interface{ Do() }
 
 //repro:hotpath
 func DynCall(i iface) {
-	i.Do() // dynamic dispatch is not an edge; implementations carry their own markers
+	i.Do() // no in-module implementer: class-hierarchy resolution yields no edges here (see shardfix/devirtfix for the resolved cases)
 }

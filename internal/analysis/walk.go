@@ -26,6 +26,22 @@ func inspectStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
 	})
 }
 
+// inspectShallow walks root like inspectStack but does not descend
+// into nested function literals: every literal is its own call-graph
+// node, checked when its FuncInfo is processed (reached through a
+// containment or flow edge). The *ast.FuncLit node itself IS visited —
+// the cost of creating the closure value belongs to the enclosing
+// function.
+func inspectShallow(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	inspectStack(root, func(n ast.Node, stack []ast.Node) bool {
+		if !f(n, stack) {
+			return false
+		}
+		_, isLit := n.(*ast.FuncLit)
+		return !isLit
+	})
+}
+
 // inPanicArg reports whether the node whose ancestor stack is given sits
 // inside the argument list of a builtin panic call. Assertion panics
 // (panic(fmt.Sprintf(...)) guarding impossible states) are exempt from

@@ -278,7 +278,7 @@ func (sc *Schedule) inject(addr, refIndex uint64, kind TamperKind) {
 	}
 	sc.Injected++
 	sc.ByKind[kind]++
-	sc.pending[addr] = pendingTamper{ref: refIndex, kind: kind}
+	sc.pending[addr] = pendingTamper{ref: refIndex, kind: kind} //repro:allow per-strike bookkeeping; strikes are sparse events, never on the per-reference fast path
 	sc.rc.Emit(rec.KindStrike, addr, 0, 0, uint64(kind))
 }
 

@@ -1,4 +1,5 @@
 //repro:deterministic
+//repro:shardpure
 package campaign
 
 import (

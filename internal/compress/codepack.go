@@ -94,6 +94,7 @@ func buildTable(freq map[uint16]int) halfTable {
 		f int
 	}
 	all := make([]vf, 0, len(freq))
+	//repro:allow iteration feeds a full sort with a value tiebreak below; map order cannot reach the output
 	for v, f := range freq {
 		all = append(all, vf{v, f})
 	}

@@ -130,6 +130,9 @@ type RC4 struct {
 	s    [256]byte
 	i, j byte
 	key  []byte
+	// seedKey is preallocated scratch for Reset's per-seed re-key, so
+	// address-seeded pad derivation stays allocation-free.
+	seedKey []byte
 }
 
 // NewRC4 builds an RC4 generator from key (1–256 bytes).
@@ -137,7 +140,7 @@ func NewRC4(key []byte) (*RC4, error) {
 	if len(key) == 0 || len(key) > 256 {
 		return nil, fmt.Errorf("stream: RC4 key length %d out of range [1,256]", len(key))
 	}
-	r := &RC4{key: append([]byte{}, key...)}
+	r := &RC4{key: append([]byte{}, key...), seedKey: make([]byte, len(key))}
 	r.schedule()
 	return r, nil
 }
@@ -165,12 +168,12 @@ func (r *RC4) Next() byte {
 // Reset re-keys the cipher with the original key XOR-folded with seed;
 // this gives RC4 the address-seeded interface the pad source needs.
 func (r *RC4) Reset(seed uint64) {
-	k := append([]byte{}, r.key...)
-	for i := 0; i < 8 && i < len(k); i++ {
-		k[i] ^= byte(seed >> (8 * uint(i)))
+	copy(r.seedKey, r.key)
+	for i := 0; i < 8 && i < len(r.seedKey); i++ {
+		r.seedKey[i] ^= byte(seed >> (8 * uint(i)))
 	}
 	saved := r.key
-	r.key = k
+	r.key = r.seedKey
 	r.schedule()
 	r.key = saved
 }

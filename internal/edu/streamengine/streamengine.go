@@ -67,13 +67,9 @@ func (e *Engine) Gates() int { return e.cfg.Gates }
 
 // EncryptLine implements edu.Engine. The pad is line-indexed, so the
 // transform is valid for any slice lying within one pad line.
-//
-//repro:hotpath
 func (e *Engine) EncryptLine(addr uint64, dst, src []byte) { e.xor(addr, dst, src) }
 
 // DecryptLine implements edu.Engine (XOR is its own inverse).
-//
-//repro:hotpath
 func (e *Engine) DecryptLine(addr uint64, dst, src []byte) { e.xor(addr, dst, src) }
 
 func (e *Engine) xor(addr uint64, dst, src []byte) {

@@ -293,8 +293,6 @@ func (t *Tree) walkUpdate(leaf uint64) uint64 {
 // spoofing and splicing (content and address binding), and the external
 // store against the root-anchored value catches replay of a stale
 // (line, tag) pair.
-//
-//repro:hotpath
 func (t *Tree) VerifyRead(addr uint64, ct []byte) (uint64, bool) {
 	leaf, protected := t.leafIndex(addr)
 	if !protected {
@@ -329,8 +327,6 @@ func (t *Tree) VerifyRead(addr uint64, ct []byte) (uint64, bool) {
 
 // UpdateWrite implements edu.Verifier: retag the line (bumping its
 // counter under CounterTree) and propagate up the cached path.
-//
-//repro:hotpath
 func (t *Tree) UpdateWrite(addr uint64, ct []byte) uint64 {
 	leaf, protected := t.leafIndex(addr)
 	if !protected {
@@ -358,7 +354,7 @@ func (t *Tree) TagAt(addr uint64) ([ghash.TagBytes]byte, bool) {
 
 // TamperTag overwrites the external tag store — the attack harness's
 // write access to external memory.
-func (t *Tree) TamperTag(addr uint64, tag [ghash.TagBytes]byte) { t.ext[addr] = tag }
+func (t *Tree) TamperTag(addr uint64, tag [ghash.TagBytes]byte) { t.ext[addr] = tag } //repro:allow attack-harness tamper write; per-strike, timing runs never call it
 
 // NodeHitRate reports the fraction of walk terminations served by the
 // node cache.

@@ -87,8 +87,6 @@ func (f *Flat) version(addr uint64) uint64 {
 // VerifyRead implements edu.Verifier: recompute the tag and compare
 // against the external store. With no root anchor, a consistent stale
 // pair passes — flat-mac accepts replay by construction.
-//
-//repro:hotpath
 func (f *Flat) VerifyRead(addr uint64, ct []byte) (uint64, bool) {
 	stall := uint64(f.cfg.TagCycles)
 	if f.ver != nil {
@@ -110,8 +108,6 @@ func (f *Flat) VerifyRead(addr uint64, ct []byte) (uint64, bool) {
 }
 
 // UpdateWrite implements edu.Verifier.
-//
-//repro:hotpath
 func (f *Flat) UpdateWrite(addr uint64, ct []byte) uint64 {
 	stall := uint64(f.cfg.TagCycles)
 	if f.ver != nil {
@@ -130,4 +126,4 @@ func (f *Flat) TagAt(addr uint64) ([ghash.TagBytes]byte, bool) {
 }
 
 // TamperTag overwrites the external tag store.
-func (f *Flat) TamperTag(addr uint64, tag [ghash.TagBytes]byte) { f.ext[addr] = tag }
+func (f *Flat) TamperTag(addr uint64, tag [ghash.TagBytes]byte) { f.ext[addr] = tag } //repro:allow attack-harness tamper write; per-strike, timing runs never call it
