@@ -19,6 +19,8 @@
 //	sweep -progress-json 2>prog.ndjson                # machine-readable progress
 //	sweep -pprof localhost:6060     # net/http/pprof + /metrics + /trace snapshots
 //	sweep -format json -o results.json                # write results to a file
+//	sweep -spec grid.json -format csv                 # grid from a JSON spec file
+//	                                                  # (the exact sweepd POST payload)
 //	sweep -trace out.json           # flight-recorder trace (open in Perfetto)
 //	sweep -trace out.csv -trace-cap 1M                # CSV export, bigger rings
 //
@@ -46,22 +48,13 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
-	"repro/internal/edu"
 	"repro/internal/obs"
 	"repro/internal/obs/rec"
 )
 
 func main() {
-	engines := flag.String("engines", "", "engine keys to sweep (default: all surveyed engines)")
-	workloads := flag.String("workloads", "", "workload names to sweep (default: all generators)")
-	refsList := flag.String("refs", "", fmt.Sprintf("trace lengths to sweep (default: %d)", core.DefaultRefs))
-	cacheSizes := flag.String("cache", "", "L1 cache sizes in bytes, K/M suffixes ok (default: 16K)")
-	l2Sizes := flag.String("l2", "", "L2 cache sizes in bytes, 0 = no L2, K/M suffixes ok (default: 0)")
-	placements := flag.String("placement", "", fmt.Sprintf("EDU placements to sweep: %s (default: default)", strings.Join(edu.PlacementNames(), ",")))
-	lineSizes := flag.String("line", "", "cache line sizes in bytes (default: 32)")
-	busWidths := flag.String("bus", "", "bus widths in bytes (default: 4)")
-	auths := flag.String("authtree", "", fmt.Sprintf("authenticator keys to sweep: %s (default: none)", strings.Join(core.AuthKeys(), ",")))
-	attacks := flag.String("attack", "", "active-adversary strike rates in tampers per 10k refs (default: 0)")
+	specFlags := campaign.RegisterSpecFlags(flag.CommandLine)
+	specPath := flag.String("spec", "", "read the grid spec from this JSON file (the exact payload sweepd's POST /sweeps accepts) instead of grid axis flags")
 	jobs := flag.Int("jobs", campaign.DefaultJobs(), "worker pool size")
 	format := flag.String("format", "table", "output format: table, csv or json")
 	suite := flag.Bool("suite", false, "run the E1-E22 experiment suite through the pool instead of a grid")
@@ -81,11 +74,8 @@ func main() {
 		// Suite mode prints experiment tables: the grid axes and the
 		// structured emitters do not apply, and silently ignoring them
 		// would mislead scripted callers.
-		if *engines != "" || *workloads != "" || *refsList != "" ||
-			*cacheSizes != "" || *l2Sizes != "" || *placements != "" ||
-			*lineSizes != "" || *busWidths != "" ||
-			*auths != "" || *attacks != "" {
-			fatal(fmt.Errorf("-suite ignores grid axes; drop -engines/-workloads/-refs/-cache/-l2/-placement/-line/-bus/-authtree/-attack (use -experiments and -suite-refs)"))
+		if !specFlags.Empty() || *specPath != "" {
+			fatal(fmt.Errorf("-suite ignores grid axes; drop -engines/-workloads/-refs/-cache/-l2/-placement/-line/-bus/-authtree/-attack/-spec (use -experiments and -suite-refs)"))
 		}
 		if *format != "table" {
 			fatal(fmt.Errorf("-suite emits experiment tables only; -format %s is not supported", *format))
@@ -109,29 +99,25 @@ func main() {
 		return
 	}
 
-	spec := campaign.Spec{
-		Engines:    campaign.ParseList(*engines),
-		Workloads:  campaign.ParseList(*workloads),
-		Auths:      campaign.ParseList(*auths),
-		Placements: campaign.ParseList(*placements),
-	}
+	// The grid comes from one place: either the shared axis flags or a
+	// -spec file carrying the exact JSON payload the sweepd service
+	// accepts — so a campaign is portable between CLI and service runs.
+	var spec campaign.Spec
 	var err error
-	if spec.AttackRates, err = campaign.ParseFloatList(*attacks); err != nil {
-		fatal(err)
-	}
-	if spec.Refs, err = campaign.ParseIntList(*refsList); err != nil {
-		fatal(err)
-	}
-	if spec.CacheSizes, err = campaign.ParseIntList(*cacheSizes); err != nil {
-		fatal(err)
-	}
-	if spec.L2Sizes, err = campaign.ParseIntList(*l2Sizes); err != nil {
-		fatal(err)
-	}
-	if spec.LineSizes, err = campaign.ParseIntList(*lineSizes); err != nil {
-		fatal(err)
-	}
-	if spec.BusWidths, err = campaign.ParseIntList(*busWidths); err != nil {
+	if *specPath != "" {
+		if !specFlags.Empty() {
+			fatal(fmt.Errorf("-spec replaces the grid axis flags; drop -engines/-workloads/-refs/-cache/-l2/-placement/-line/-bus/-authtree/-attack"))
+		}
+		f, ferr := os.Open(*specPath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		spec, err = campaign.ParseSpecJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else if spec, err = specFlags.Spec(); err != nil {
 		fatal(err)
 	}
 

@@ -300,6 +300,58 @@ func TestTraceOutputDeterministicAndDecodable(t *testing.T) {
 	}
 }
 
+// -spec reads the exact JSON payload sweepd accepts, and must be
+// interchangeable with the axis flags: same grid, same bytes.
+func TestSpecFileMatchesAxisFlags(t *testing.T) {
+	specPath := filepath.Join(t.TempDir(), "grid.json")
+	if err := os.WriteFile(specPath, []byte(
+		`{"engines":["aegis","xom"],"workloads":["sequential"],"refs":[2000],"cache_sizes":[4096]}`,
+	), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromSpec, stderr, code := run(t, "-spec", specPath, "-format", "csv", "-q")
+	if code != 0 {
+		t.Fatalf("-spec exited %d: %s", code, stderr)
+	}
+	fromFlags, stderr, code := run(t,
+		"-engines", "aegis,xom", "-workloads", "sequential", "-refs", "2000",
+		"-cache", "4K", "-format", "csv", "-q")
+	if code != 0 {
+		t.Fatalf("axis flags exited %d: %s", code, stderr)
+	}
+	if fromSpec != fromFlags {
+		t.Errorf("-spec output differs from axis flags\nspec:\n%s\nflags:\n%s", fromSpec, fromFlags)
+	}
+}
+
+func TestSpecFileErrors(t *testing.T) {
+	specPath := filepath.Join(t.TempDir(), "grid.json")
+	if err := os.WriteFile(specPath, []byte(`{"engines":["aegis"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Mixing -spec with axis flags is ambiguous, not merged.
+	stdout, stderr, code := run(t, "-spec", specPath, "-engines", "xom")
+	if code == 0 || stdout != "" || !strings.Contains(stderr, "-spec replaces") {
+		t.Errorf("-spec + axis flags: code=%d stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	// -suite rejects -spec like any other grid input.
+	_, stderr, code = run(t, "-suite", "-spec", specPath)
+	if code == 0 || !strings.Contains(stderr, "-suite ignores grid axes") {
+		t.Errorf("-suite -spec: code=%d stderr=%q", code, stderr)
+	}
+	// Missing and malformed files fail before any simulation.
+	_, stderr, code = run(t, "-spec", filepath.Join(t.TempDir(), "absent.json"))
+	if code == 0 || !strings.Contains(stderr, "sweep:") {
+		t.Errorf("missing spec file: code=%d stderr=%q", code, stderr)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"engins":["aegis"]}`), 0o644)
+	_, stderr, code = run(t, "-spec", bad)
+	if code == 0 || !strings.Contains(stderr, "unknown field") {
+		t.Errorf("typoed spec field: code=%d stderr=%q", code, stderr)
+	}
+}
+
 func TestBadTraceCapExitsNonzero(t *testing.T) {
 	for _, bad := range []string{"0", "-5", "4,8", "nope"} {
 		stdout, stderr, code := run(t,

@@ -76,3 +76,47 @@ func (m *memo[T]) Hits() int64 { return m.hits.Load() }
 
 // Misses reports how many lookups ran the computation.
 func (m *memo[T]) Misses() int64 { return m.misses.Load() }
+
+// size reports the number of entries, including in-flight computations.
+func (m *memo[T]) size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// snapshot copies every completed, successful entry — the persistable
+// state of the memo. In-flight computations are skipped (they hold no
+// final value yet); errored entries were already evicted before their
+// waiters released, so none can appear here.
+func (m *memo[T]) snapshot() map[string]T {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]T, len(m.entries))
+	for k, e := range m.entries { //repro:allow iteration builds a map; JSON encoding sorts keys, so snapshot bytes are order-independent
+		select {
+		case <-e.done:
+			if e.err == nil {
+				out[k] = e.val
+			}
+		default:
+		}
+	}
+	return out
+}
+
+// seed installs already-computed values, as restored from a snapshot.
+// Existing entries win: a value is never replaced under the waiters of
+// a live computation, and seeded entries count as neither hits nor
+// misses until a lookup actually lands on them.
+func (m *memo[T]) seed(vals map[string]T) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, v := range vals { //repro:allow insertion into a keyed map; entry state is identical for any iteration order
+		if _, ok := m.entries[k]; ok {
+			continue
+		}
+		e := &memoEntry[T]{done: make(chan struct{}), val: v}
+		close(e.done)
+		m.entries[k] = e
+	}
+}

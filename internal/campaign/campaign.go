@@ -2,6 +2,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attack"
@@ -62,75 +63,155 @@ type Report struct {
 	Summary []SummaryRow `json:"summary"`
 }
 
-// Runner executes a campaign. Its caches persist across Run calls, so
-// re-running an overlapping grid on the same Runner resimulates nothing.
+// Runner executes a campaign. Its backing Store persists across Run
+// calls — and, when shared via NewRunnerWith, across Runners — so
+// re-running an overlapping grid resimulates nothing.
 type Runner struct {
-	spec      Spec
-	baselines *memo[soc.Report]
-	results   *memo[Result]
+	spec  Spec
+	store *Store
 	// m is the optional live metrics bundle (Observe); nil publishes
 	// nowhere and costs nothing on the simulation path.
 	m *Metrics
 	// tr is the optional flight-recorder hub (Trace); nil records
 	// nothing — the simulator sees a nil recorder, a no-op sink.
 	tr *Tracer
+	// onResult is the optional incremental delivery hook (OnResult).
+	onResult func(Task, Result)
 }
 
-// NewRunner validates the spec and prepares an empty-cache runner.
+// NewRunner validates the spec and prepares a runner with a private
+// store — the one-shot CLI shape.
 func NewRunner(spec Spec) (*Runner, error) {
+	return NewRunnerWith(spec, NewStore())
+}
+
+// NewRunnerWith validates the spec and prepares a runner backed by the
+// given shared store (nil gets a private one). Every Runner handed the
+// same Store shares baselines and completed results: this is how the
+// sweep service lets concurrent users' overlapping grids reuse each
+// other's work.
+func NewRunnerWith(spec Spec, store *Store) (*Runner, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	return &Runner{
-		spec:      spec,
-		baselines: newMemo[soc.Report](),
-		results:   newMemo[Result](),
-	}, nil
+	if store == nil {
+		store = NewStore()
+	}
+	return &Runner{spec: spec, store: store}, nil
 }
 
+// Spec returns the validated, default-filled grid spec the runner
+// executes — the exact Spec a Report built from this runner carries.
+func (r *Runner) Spec() Spec { return r.spec }
+
+// Store returns the runner's backing store.
+func (r *Runner) Store() *Store { return r.store }
+
 // BaselineRuns reports how many plaintext baseline simulations actually
-// executed; BaselineHits how many were served from cache.
-func (r *Runner) BaselineRuns() int64 { return r.baselines.Misses() }
+// executed; BaselineHits how many were served from cache. Both are
+// store-lifetime counts: on a shared store they span every runner
+// attached to it.
+func (r *Runner) BaselineRuns() int64 { return r.store.BaselineRuns() }
 
 // BaselineHits is the cache-served baseline lookup count.
-func (r *Runner) BaselineHits() int64 { return r.baselines.Hits() }
+func (r *Runner) BaselineHits() int64 { return r.store.BaselineHits() }
+
+// OnResult installs an incremental delivery hook: fn is called once for
+// every task Exec finishes (simulated or memo-served), from the worker
+// goroutine that finished it, in completion order — NOT expansion
+// order. Callers needing the canonical order re-sequence by Task.Index,
+// as the serve package's NDJSON stream does. Install before Run; fn
+// must be safe for concurrent calls and must not block long (it holds
+// a worker).
+func (r *Runner) OnResult(fn func(Task, Result)) { r.onResult = fn }
+
+// Plan expands the grid and, when a metrics bundle is installed,
+// publishes the campaign denominators (tasks_total, refs_planned). Run
+// calls it implicitly; external schedulers call it once and then Exec
+// each task.
+func (r *Runner) Plan() []Task {
+	tasks := r.spec.Expand()
+	if r.m != nil {
+		r.m.TasksTotal.Set(int64(len(tasks)))
+		r.m.RefsPlanned.Set(int64(plannedRefs(tasks)))
+	}
+	return tasks
+}
+
+// Exec executes one expanded task: the shared-store lookup, the
+// simulation on miss, the metrics bookkeeping, and the delivery hook.
+// It is the unit of work an external scheduler submits (the sweep
+// service's shared worker pool runs Exec closures from many sweeps on
+// one pool); Run is forEach over Exec.
+func (r *Runner) Exec(t Task) Result {
+	if r.m != nil {
+		r.m.TasksStarted.Inc()
+		r.m.WorkersBusy.Add(1)
+	}
+	ran := false
+	res, _ := r.store.results.get(t.Cfg.Key(), func() (Result, error) {
+		ran = true
+		return r.runTask(t.Cfg), nil
+	})
+	if r.m != nil {
+		r.m.WorkersBusy.Add(-1)
+		r.m.TasksDone.Inc()
+		if !ran {
+			r.m.MemoHits.Inc()
+		}
+		if res.Err != "" {
+			r.m.TaskErrors.Inc()
+		}
+		r.m.BaselineRuns.Set(r.store.BaselineRuns())
+		r.m.BaselineHits.Set(r.store.BaselineHits())
+	}
+	if r.onResult != nil {
+		r.onResult(t, res)
+	}
+	return res
+}
 
 // Run expands the grid and executes every task on `jobs` workers
 // (jobs <= 0 means one per CPU). The returned report is independent of
 // jobs: tasks are seeded from config hashes and slotted by index.
 func (r *Runner) Run(jobs int) *Report {
-	tasks := r.spec.Expand()
+	rep, _ := r.RunContext(context.Background(), jobs)
+	return rep
+}
+
+// CanceledErr is the Err string recorded on grid points whose tasks
+// never ran because the sweep was cancelled.
+const CanceledErr = "canceled: sweep stopped before this point ran"
+
+// Canceled is the placeholder Result for a grid point skipped by
+// cancellation: the config, no metrics, CanceledErr.
+func Canceled(cfg TaskConfig) Result {
+	return Result{TaskConfig: cfg, Err: CanceledErr}
+}
+
+// RunContext is Run with cooperative cancellation. Cancellation is
+// task-granular: in-flight simulations finish (a task is never left
+// half-run, so the shared store only ever holds complete values), no
+// new tasks start, and the error is ctx.Err(). The returned report
+// then holds partial state in canonical order — every completed point
+// plus a Canceled placeholder in each slot whose task never ran.
+func (r *Runner) RunContext(ctx context.Context, jobs int) (*Report, error) {
+	tasks := r.Plan()
 	out := make([]Result, len(tasks))
-	if r.m != nil {
-		r.m.TasksTotal.Set(int64(len(tasks)))
-		r.m.RefsPlanned.Set(int64(plannedRefs(tasks)))
-	}
-	forEach(jobs, len(tasks), func(i int) {
-		cfg := tasks[i].Cfg
-		if r.m != nil {
-			r.m.TasksStarted.Inc()
-			r.m.WorkersBusy.Add(1)
-		}
-		ran := false
-		res, _ := r.results.get(cfg.Key(), func() (Result, error) {
-			ran = true
-			return r.runTask(cfg), nil
-		})
-		out[i] = res
-		if r.m != nil {
-			r.m.WorkersBusy.Add(-1)
-			r.m.TasksDone.Inc()
-			if !ran {
-				r.m.MemoHits.Inc()
-			}
-			if res.Err != "" {
-				r.m.TaskErrors.Inc()
-			}
-			r.m.BaselineRuns.Set(r.baselines.Misses())
-			r.m.BaselineHits.Set(r.baselines.Hits())
-		}
+	done := make([]bool, len(tasks))
+	forEachCtx(ctx, jobs, len(tasks), func(i int) {
+		out[i] = r.Exec(tasks[i])
+		done[i] = true
 	})
-	return &Report{Spec: r.spec, Results: out, Summary: Summarize(out)}
+	err := ctx.Err()
+	if err != nil {
+		for i := range out {
+			if !done[i] {
+				out[i] = Canceled(tasks[i].Cfg)
+			}
+		}
+	}
+	return &Report{Spec: r.spec, Results: out, Summary: Summarize(out)}, err
 }
 
 // socConfig builds the system geometry for a grid point, starting from
@@ -207,7 +288,7 @@ func (r *Runner) runTaskRec(cfg TaskConfig, rc *rec.Recorder) Result {
 	// The baseline is protection-independent: memoized under the
 	// (point, hierarchy) key, so the first task there simulates it and
 	// every other engine/auth/placement combination reuses the report.
-	base, err := r.baselines.get(cfg.BaselineKey(), func() (soc.Report, error) {
+	base, err := r.store.baselines.get(cfg.BaselineKey(), func() (soc.Report, error) {
 		bcfg := sc
 		bcfg.Engine = edu.Null{}
 		bcfg.Placement = edu.PlacementNone

@@ -81,9 +81,9 @@ func TestBaselineComputedOnce(t *testing.T) {
 
 	// Re-running the same grid on the same runner resimulates nothing:
 	// every task is served from the result cache.
-	runs := r.results.Misses()
+	runs := r.Store().ResultRuns()
 	r.Run(8)
-	if got := r.results.Misses(); got != runs {
+	if got := r.Store().ResultRuns(); got != runs {
 		t.Errorf("re-run executed %d new tasks, want 0", got-runs)
 	}
 }

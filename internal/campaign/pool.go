@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,16 @@ func DefaultJobs() int { return runtime.GOMAXPROCS(0) }
 // index i's slot, so the output is independent of completion order and
 // a jobs=1 run is byte-identical to a jobs=N run.
 func forEach(jobs, n int, fn func(i int)) {
+	forEachCtx(context.Background(), jobs, n, fn)
+}
+
+// forEachCtx is forEach with cooperative cancellation: once ctx is
+// done, workers stop claiming new indices and return. An index whose
+// fn is already running completes normally — a task is never abandoned
+// mid-simulation — so after forEachCtx returns, every index was either
+// fully processed or never started, and a caller can mark the skipped
+// slots cleanly (Runner.RunContext does).
+func forEachCtx(ctx context.Context, jobs, n int, fn func(i int)) {
 	if jobs <= 0 {
 		jobs = DefaultJobs()
 	}
@@ -24,6 +35,9 @@ func forEach(jobs, n int, fn func(i int)) {
 	}
 	if jobs <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -35,6 +49,9 @@ func forEach(jobs, n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

@@ -1,0 +1,79 @@
+package campaign
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, jobs := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		var counts [n]atomic.Int32
+		forEach(jobs, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("jobs=%d: index %d ran %d times", jobs, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachCtxCancelSequential(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran []int
+	forEachCtx(ctx, 1, 10, func(i int) {
+		ran = append(ran, i)
+		if i == 2 {
+			cancel()
+		}
+	})
+	// The in-flight iteration completes; nothing after it starts.
+	if len(ran) != 3 || ran[2] != 2 {
+		t.Fatalf("ran %v, want [0 1 2]", ran)
+	}
+}
+
+func TestForEachCtxCancelParallel(t *testing.T) {
+	const n = 1000
+	ctx, cancel := context.WithCancel(context.Background())
+	var started [n]atomic.Int32
+	var total atomic.Int32
+	forEachCtx(ctx, 4, n, func(i int) {
+		started[i].Add(1)
+		if total.Add(1) == 5 {
+			cancel()
+		}
+	})
+	// Every claimed index ran exactly once (never abandoned, never
+	// repeated), and cancellation stopped the sweep well short of n.
+	ran := 0
+	for i := range started {
+		switch started[i].Load() {
+		case 0:
+		case 1:
+			ran++
+		default:
+			t.Fatalf("index %d ran %d times", i, started[i].Load())
+		}
+	}
+	if int32(ran) != total.Load() {
+		t.Fatalf("ran %d indices but counted %d", ran, total.Load())
+	}
+	// 4 workers were at most one task past the cancel trigger each.
+	if ran < 5 || ran > 5+4 {
+		t.Fatalf("cancellation let %d of %d tasks run", ran, n)
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, jobs := range []int{1, 4} {
+		ran := atomic.Int32{}
+		forEachCtx(ctx, jobs, 50, func(int) { ran.Add(1) })
+		if got := ran.Load(); got != 0 {
+			t.Errorf("jobs=%d: pre-cancelled context ran %d tasks", jobs, got)
+		}
+	}
+}

@@ -17,7 +17,9 @@
 package campaign
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strconv"
@@ -161,6 +163,27 @@ func (s *Spec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// ParseSpecJSON decodes the wire form of a Spec — the exact payload
+// `POST /sweeps` accepts and `sweep -spec` reads. Unknown fields are
+// rejected (a typoed axis name must not silently sweep defaults), as
+// is trailing data after the object, and the decoded spec is validated
+// (and so default-filled) before it is returned.
+func ParseSpecJSON(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec Spec
+	if err := dec.Decode(&spec); err != nil {
+		return Spec{}, fmt.Errorf("campaign: parsing spec JSON: %w", err)
+	}
+	if dec.More() {
+		return Spec{}, fmt.Errorf("campaign: trailing data after spec JSON")
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
 }
 
 // Size returns the number of tasks the grid expands to.

@@ -1,0 +1,542 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// startServer builds a fabric + HTTP front end and tears both down
+// with the test.
+func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postSpec(t *testing.T, base, specJSON string) (Status, int) {
+	t.Helper()
+	resp, err := http.Post(base+"/sweeps", "application/json", strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return st, resp.StatusCode
+}
+
+func getStatus(t *testing.T, base, id string) Status {
+	t.Helper()
+	resp, err := http.Get(base + "/sweeps/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitTerminal(t *testing.T, base, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		st := getStatus(t, base, id)
+		if st.State == StateDone || st.State == StateCanceled {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep %s stuck in state %s", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func getBody(t *testing.T, url string) (string, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), resp.StatusCode
+}
+
+// referenceReport runs the same spec through the library path the
+// sweep CLI uses and emits it in the given format — the bytes the
+// service must reproduce exactly.
+func referenceReport(t *testing.T, specJSON, format string) string {
+	t.Helper()
+	spec, err := campaign.ParseSpecJSON(strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := campaign.Sweep(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := campaign.Emit(&buf, rep, format); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+const smallSpec = `{"engines":["aegis","xom"],"workloads":["sequential"],"refs":[2000]}`
+
+func TestSweepLifecycleByteIdenticalToCLI(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 2})
+
+	st, code := postSpec(t, ts.URL, smallSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d, want 202", code)
+	}
+	if st.ID == "" || st.Tasks != 2 {
+		t.Fatalf("admission status = %+v", st)
+	}
+
+	// Drain the incremental stream: every row, canonical order, valid
+	// JSON, and the stream ends exactly when the sweep does.
+	resp, err := http.Get(ts.URL + "/sweeps/" + st.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != "application/x-ndjson" {
+		t.Errorf("stream Content-Type = %q", got)
+	}
+	var rows []campaign.Result
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var r campaign.Result
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad NDJSON row %q: %v", sc.Text(), err)
+		}
+		rows = append(rows, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	spec, _ := campaign.ParseSpecJSON(strings.NewReader(smallSpec))
+	tasks := spec.Expand()
+	if len(rows) != len(tasks) {
+		t.Fatalf("streamed %d rows, want %d", len(rows), len(tasks))
+	}
+	for i, r := range rows {
+		if r.Key() != tasks[i].Cfg.Key() {
+			t.Errorf("row %d = %s, want canonical order %s", i, r.Key(), tasks[i].Cfg.Key())
+		}
+		if r.Err != "" {
+			t.Errorf("row %d failed: %s", i, r.Err)
+		}
+	}
+
+	st = waitTerminal(t, ts.URL, st.ID)
+	if st.State != StateDone || st.TasksDone != 2 || st.Rows != 2 {
+		t.Fatalf("final status = %+v", st)
+	}
+
+	// The final report must be byte-identical to the CLI/library run of
+	// the same spec, in every format.
+	for _, format := range campaign.Formats {
+		got, code := getBody(t, ts.URL+"/sweeps/"+st.ID+"/result?format="+format)
+		if code != http.StatusOK {
+			t.Fatalf("result?format=%s = %d", format, code)
+		}
+		if want := referenceReport(t, smallSpec, format); got != want {
+			t.Errorf("format %s: server report differs from CLI report\nserver:\n%s\nCLI:\n%s", format, got, want)
+		}
+	}
+
+	// A late subscriber replays the whole canonical stream.
+	body, _ := getBody(t, ts.URL+"/sweeps/"+st.ID+"/results")
+	if n := strings.Count(body, "\n"); n != len(tasks) {
+		t.Errorf("replayed stream has %d rows, want %d", n, len(tasks))
+	}
+}
+
+func TestAdmissionQueueOverflow(t *testing.T) {
+	// Not started: nothing drains the queue, so admission behavior is
+	// deterministic — the first sweep queues, the second bounces.
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st1, code := postSpec(t, ts.URL, smallSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("first POST = %d, want 202", code)
+	}
+	if st1.State != StateQueued {
+		t.Fatalf("first sweep state = %s, want queued", st1.State)
+	}
+	resp, err := http.Post(ts.URL+"/sweeps", "application/json", strings.NewReader(smallSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow POST = %d, want 429 (%s)", resp.StatusCode, b)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	// Start drains the queue; the admitted sweep completes, and
+	// admission reopens.
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	waitTerminal(t, ts.URL, st1.ID)
+	if _, code := postSpec(t, ts.URL, smallSpec); code != http.StatusAccepted {
+		t.Fatalf("post-drain POST = %d, want 202", code)
+	}
+
+	metrics, _ := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(metrics, `"serve.sweeps_rejected": 1`) {
+		t.Errorf("metrics do not record the rejection:\n%s", metrics)
+	}
+}
+
+func TestCancelKeepsPartialStateAndMemoIntact(t *testing.T) {
+	s, ts := startServer(t, Config{Workers: 1})
+
+	// A grid big enough that cancellation lands mid-sweep: all eight
+	// engines × two workloads on one worker.
+	bigSpec := `{"workloads":["sequential","firmware"],"refs":[50000]}`
+	st, code := postSpec(t, ts.URL, bigSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+
+	// Subscribe and cancel as soon as the first row is out.
+	resp, err := http.Get(ts.URL + "/sweeps/" + st.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatal("stream ended before first row")
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sweeps/"+st.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d", dresp.StatusCode)
+	}
+	// The stream must terminate (rows for every slot, completed or
+	// placeholder, then EOF).
+	rows := 1
+	for sc.Scan() {
+		rows++
+	}
+	resp.Body.Close()
+
+	final := waitTerminal(t, ts.URL, st.ID)
+	if final.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", final.State)
+	}
+
+	body, code := getBody(t, ts.URL+"/sweeps/"+st.ID+"/result?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("result after cancel = %d", code)
+	}
+	var rep campaign.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	completed, skipped := 0, 0
+	for _, r := range rep.Results {
+		switch r.Err {
+		case "":
+			completed++
+		case campaign.CanceledErr:
+			skipped++
+		default:
+			t.Errorf("unexpected cell error %q", r.Err)
+		}
+	}
+	if completed == 0 || skipped == 0 {
+		t.Fatalf("partial state: completed=%d skipped=%d, want both > 0 (rows streamed: %d)",
+			completed, skipped, rows)
+	}
+	if rows != len(rep.Results) {
+		t.Errorf("stream delivered %d rows, report has %d", rows, len(rep.Results))
+	}
+
+	// The shared store holds only the completed points — no canceled
+	// placeholder may have leaked in.
+	if _, nres := s.Store().Len(); nres != completed {
+		t.Errorf("store holds %d results, want %d completed", nres, completed)
+	}
+
+	// Resubmitting the same grid completes it, reusing every completed
+	// point (memo hits == previously completed cells).
+	st2, code := postSpec(t, ts.URL, bigSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit POST = %d", code)
+	}
+	final2 := waitTerminal(t, ts.URL, st2.ID)
+	if final2.State != StateDone {
+		t.Fatalf("resubmit state = %s", final2.State)
+	}
+	if final2.MemoHits < uint64(completed) {
+		t.Errorf("resubmit memo hits = %d, want >= %d", final2.MemoHits, completed)
+	}
+}
+
+func TestConcurrentOverlappingSweepsShareTheStore(t *testing.T) {
+	s, ts := startServer(t, Config{Workers: 2, MaxActive: 2})
+
+	var ids [2]string
+	var wg sync.WaitGroup
+	for i := range ids {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, code := postSpec(t, ts.URL, smallSpec)
+			if code != http.StatusAccepted {
+				t.Errorf("POST = %d", code)
+				return
+			}
+			ids[i] = st.ID
+		}()
+	}
+	wg.Wait()
+	if ids[0] == "" || ids[1] == "" {
+		t.Fatal("admission failed")
+	}
+
+	var bodies [2]string
+	for i, id := range ids {
+		if st := waitTerminal(t, ts.URL, id); st.State != StateDone {
+			t.Fatalf("sweep %s state = %s", id, st.State)
+		}
+		bodies[i], _ = getBody(t, ts.URL+"/sweeps/"+id+"/result?format=csv")
+	}
+	if bodies[0] != bodies[1] {
+		t.Error("overlapping sweeps emitted different reports")
+	}
+
+	// The overlap must have been served from the shared store: two
+	// sweeps of a 2-task grid simulate 2 points and hit the memo twice
+	// (the singleflight memo serializes even perfectly simultaneous
+	// computations of one key).
+	if hits := s.Store().ResultHits(); hits == 0 {
+		t.Error("no shared-memo hits recorded across overlapping sweeps")
+	}
+	if runs := s.Store().ResultRuns(); runs != 2 {
+		t.Errorf("store simulated %d points, want 2", runs)
+	}
+	metrics, _ := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{`"serve.store_result_hits": 2`, `"serve.sweeps_completed": 2`} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %s:\n%s", want, metrics)
+		}
+	}
+}
+
+func TestCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.json")
+
+	s1, ts1 := startServer(t, Config{Workers: 2, SnapshotPath: path})
+	st, code := postSpec(t, ts1.URL, smallSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	waitTerminal(t, ts1.URL, st.ID)
+	runs := s1.Store().ResultRuns()
+	if runs != 2 {
+		t.Fatalf("first server simulated %d points, want 2", runs)
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	// A fresh server resumes from the checkpoint: the same grid is
+	// served entirely from the restored store.
+	s2, ts2 := startServer(t, Config{Workers: 2, SnapshotPath: path})
+	st2, code := postSpec(t, ts2.URL, smallSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("resume POST = %d", code)
+	}
+	final := waitTerminal(t, ts2.URL, st2.ID)
+	if final.State != StateDone {
+		t.Fatalf("resume state = %s", final.State)
+	}
+	if got := s2.Store().ResultRuns(); got != 0 {
+		t.Errorf("resumed server simulated %d points, want 0 (checkpoint should cover them)", got)
+	}
+	if final.MemoHits != 2 {
+		t.Errorf("resumed sweep memo hits = %d, want 2", final.MemoHits)
+	}
+
+	// And its report still matches the reference bytes exactly.
+	body, _ := getBody(t, ts2.URL+"/sweeps/"+st2.ID+"/result?format=csv")
+	if want := referenceReport(t, smallSpec, "csv"); body != want {
+		t.Error("resumed report differs from reference")
+	}
+}
+
+func TestAdmissionErrors(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, MaxTasks: 4})
+
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"bad json", `{engines}`, http.StatusBadRequest},
+		{"unknown field", `{"engine":["aegis"]}`, http.StatusBadRequest},
+		{"unknown engine", `{"engines":["warp-drive"]}`, http.StatusBadRequest},
+		{"zero refs", `{"refs":[0]}`, http.StatusBadRequest},
+		{"bad placement", `{"placements":["l3-dram"]}`, http.StatusBadRequest},
+		{"too many tasks", `{"engines":["aegis"],"workloads":["sequential"],"refs":[1000],"cache_sizes":[4096,8192,16384,32768,65536]}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/sweeps", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: POST = %d, want %d (%s)", tc.name, resp.StatusCode, tc.want, b)
+		}
+		if !json.Valid(b) {
+			t.Errorf("%s: error body is not JSON: %s", tc.name, b)
+		}
+	}
+
+	for _, url := range []string{"/sweeps/nope", "/sweeps/nope/results", "/sweeps/nope/result"} {
+		if _, code := getBody(t, ts.URL+url); code != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", url, code)
+		}
+	}
+	if body, code := getBody(t, ts.URL+"/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+	if body, code := getBody(t, ts.URL+"/trace"); code != http.StatusOK || !json.Valid([]byte(body)) {
+		t.Errorf("/trace = %d, body valid JSON = %v", code, json.Valid([]byte(body)))
+	}
+}
+
+func TestResultBeforeDoneConflicts(t *testing.T) {
+	// Unstarted server: the sweep stays queued, so /result must 409.
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	st, code := postSpec(t, ts.URL, smallSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	if _, code := getBody(t, ts.URL+"/sweeps/"+st.ID+"/result?format=csv"); code != http.StatusConflict {
+		t.Errorf("result while queued = %d, want 409", code)
+	}
+	if _, code := getBody(t, ts.URL+"/sweeps/"+st.ID+"/result?format=nope"); code != http.StatusBadRequest {
+		t.Errorf("bad format = %d, want 400", code)
+	}
+	// List shows the queued sweep.
+	body, _ := getBody(t, ts.URL+"/sweeps")
+	var list []Status
+	if err := json.Unmarshal([]byte(body), &list); err != nil || len(list) != 1 {
+		t.Errorf("list = %s (err %v)", body, err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, ts.URL, st.ID)
+	s.Close()
+
+	// After Close, admission answers 503.
+	resp, err := http.Post(ts.URL+"/sweeps", "application/json", strings.NewReader(smallSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("POST after Close = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestTracedSweepServesTrace(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, TraceCap: 1 << 12})
+	st, code := postSpec(t, ts.URL, `{"engines":["aegis"],"workloads":["sequential"],"refs":[2000]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	waitTerminal(t, ts.URL, st.ID)
+	body, code := getBody(t, ts.URL+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace = %d", code)
+	}
+	var chrome struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &chrome); err != nil {
+		t.Fatalf("trace not Chrome JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Error("traced sweep produced no trace events")
+	}
+}
+
+func ExampleServer() {
+	s := New(Config{Workers: 1})
+	s.Start()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, _ := http.Post(ts.URL+"/sweeps", "application/json",
+		strings.NewReader(`{"engines":["xom"],"workloads":["sequential"],"refs":[1000]}`))
+	var st Status
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	fmt.Println("admitted:", st.State)
+	// Output: admitted: queued
+}
